@@ -1,0 +1,33 @@
+"""Benchmark fixtures.
+
+The MEDIUM environment takes ~30 s to build on one core, so it is built
+once per benchmark session and shared by every bench.  Benchmarks both
+*time* the operations (pytest-benchmark) and *print* the regenerated
+paper tables/series so ``bench_output.txt`` carries the reproduction
+numbers alongside the timings.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import MEDIUM, build_experiment_environment
+
+ALL_SCHEMES = ("horizontal", "vertical", "indexed-vertical")
+
+
+@pytest.fixture(scope="session")
+def medium_scale():
+    return MEDIUM
+
+
+@pytest.fixture(scope="session")
+def medium_env(medium_scale):
+    """Environment with the default (indexed-vertical) scheme."""
+    return build_experiment_environment(medium_scale)
+
+
+@pytest.fixture(scope="session")
+def medium_env_all_schemes(medium_scale):
+    """Environment with all three storage schemes laid out."""
+    return build_experiment_environment(medium_scale, schemes=ALL_SCHEMES)

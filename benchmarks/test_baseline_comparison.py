@@ -1,0 +1,28 @@
+"""Bench: three-way baseline comparison across motion patterns.
+
+Extends Figure 12 with the LoD-R-tree from the paper's related work and
+verifies Section 2's qualitative claims: the LoD-R-tree is competitive
+only while the view holds still, and "its performance degenerates
+significantly as the user view changes" — the turning session punishes
+it while leaving VISUAL and REVIEW unmoved.
+"""
+
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.config import MEDIUM
+
+
+def test_baseline_comparison_report(benchmark, medium_env, capsys):
+    result = benchmark.pedantic(
+        lambda: run_baseline_comparison(MEDIUM, eta=0.001), rounds=1,
+        iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+        for system in ("VISUAL", "REVIEW", "LoD-R-tree"):
+            print(f"{system} turning penalty (session2/session1): "
+                  f"{result.turning_penalty(system):.2f}x")
+    for number, per_system in result.rows.items():
+        assert per_system["VISUAL"][0] < per_system["REVIEW"][0]
+        assert per_system["VISUAL"][1] >= per_system["LoD-R-tree"][1]
+    assert result.turning_penalty("LoD-R-tree") > \
+        result.turning_penalty("VISUAL")

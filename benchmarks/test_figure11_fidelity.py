@@ -1,0 +1,40 @@
+"""Bench: Figure 11 — visual fidelity, quantified.
+
+Prints the fidelity table: original models (reference), REVIEW with
+200 m boxes (misses far objects), VISUAL at eta = 0.001 (fidelity loss
+"not obvious").  Times the fidelity scoring machinery.
+"""
+
+from repro.core.search import HDoVSearch
+from repro.experiments.config import MEDIUM
+from repro.experiments.figure11_fidelity import run_figure11
+from repro.walkthrough.metrics import FidelityMetric
+
+
+def test_figure11_report(benchmark, medium_env, capsys):
+    result = benchmark.pedantic(
+        lambda: run_figure11(MEDIUM, eta=0.001, review_box=200.0),
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    original, review, visual = result.rows
+    assert original.avg_fidelity == 1.0
+    # REVIEW's shortsightedness: visible objects missed entirely.
+    assert review.avg_missed_objects > 0
+    # VISUAL covers everything visible (directly or via internal LoDs).
+    assert visual.avg_missed_objects == 0
+    assert visual.avg_fidelity > review.avg_fidelity
+    # "A threshold of 0.001 can provide good visual fidelity."
+    assert visual.avg_fidelity > 0.9
+
+
+def test_fidelity_scoring_wallclock(benchmark, medium_env):
+    env = medium_env
+    metric = FidelityMetric(env)
+    search = HDoVSearch(env, fetch_models=False)
+    busiest = max(env.grid.cell_ids(),
+                  key=lambda c: env.visibility.cell(c).num_visible)
+    result = search.query_cell(busiest, eta=0.001)
+    score = benchmark(lambda: metric.score_hdov(result))
+    assert 0.0 <= score <= 1.0

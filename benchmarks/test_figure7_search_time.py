@@ -1,0 +1,64 @@
+"""Bench: Figure 7 — search time vs eta for all schemes plus naive.
+
+Prints the regenerated series (simulated ms/query) and times real
+wall-clock query latency per scheme at a representative eta.
+"""
+
+import pytest
+
+from repro.baselines.naive import NaiveCellList
+from repro.core.search import HDoVSearch
+from repro.experiments.config import MEDIUM
+from repro.experiments.figure7_search_time import SCHEMES, run_figure7
+from repro.walkthrough.session import street_viewpoints
+
+
+def test_figure7_report(benchmark, medium_env_all_schemes, capsys):
+    result = benchmark.pedantic(lambda: run_figure7(MEDIUM), rounds=1,
+                                iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    for name in SCHEMES:
+        series = result.search_ms[name]
+        assert series[-1] < series[0]          # falls with eta
+    # eta = 0 within 25% of naive ("almost the same").
+    assert result.search_ms["indexed-vertical"][0] == pytest.approx(
+        result.naive_ms, rel=0.35)
+    # Horizontal is the worst scheme throughout.
+    for i in range(len(result.etas)):
+        assert result.search_ms["horizontal"][i] >= \
+            result.search_ms["vertical"][i] - 1e-9
+
+
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_query_wallclock(benchmark, medium_env_all_schemes, scheme):
+    env = medium_env_all_schemes
+    search = HDoVSearch(env, scheme)
+    points = street_viewpoints(env.scene.bounds(), MEDIUM.city.pitch,
+                               10, seed=3)
+
+    def run_queries():
+        total = 0
+        for point in points:
+            search.scheme.current_cell = None
+            total += search.query_point(point, 0.001).num_results
+        return total
+
+    total = benchmark(run_queries)
+    assert total > 0
+
+
+def test_naive_query_wallclock(benchmark, medium_env_all_schemes):
+    env = medium_env_all_schemes
+    naive = NaiveCellList(env)
+    points = street_viewpoints(env.scene.bounds(), MEDIUM.city.pitch,
+                               10, seed=3)
+
+    def run_queries():
+        total = 0
+        for point in points:
+            total += naive.query_point(point).num_results
+        return total
+
+    assert benchmark(run_queries) > 0

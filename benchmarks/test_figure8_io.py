@@ -1,0 +1,47 @@
+"""Bench: Figure 8 — I/O counts vs eta (indexed-vertical vs naive).
+
+Prints both panels: (a) total I/Os per query, (b) light-weight I/Os,
+then times the light-weight traversal alone at two eta extremes.
+"""
+
+import pytest
+
+from repro.core.search import HDoVSearch
+from repro.experiments.config import MEDIUM
+from repro.experiments.figure8_io import run_figure8
+from repro.walkthrough.session import street_viewpoints
+
+
+def test_figure8_report(benchmark, medium_env, capsys):
+    result = benchmark.pedantic(lambda: run_figure8(MEDIUM), rounds=1,
+                                iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    # eta = 0: the heavy (model) I/O equals naive's exactly — identical
+    # object set, identical LoD selection.
+    assert result.heavy_ios[0] == pytest.approx(
+        result.naive_total - result.naive_light, rel=1e-6)
+    # Panel (b): extra internal nodes put HDoV above naive at eta = 0,
+    # and the gap closes as eta grows.
+    assert result.light_ios[0] > result.naive_light
+    assert result.light_ios[-1] < result.light_ios[0]
+    # Panel (a): total I/O falls across the sweep.
+    assert result.total_ios[-1] < result.total_ios[0]
+
+
+@pytest.mark.parametrize("eta", [0.0, 0.008])
+def test_traversal_wallclock(benchmark, medium_env, eta):
+    env = medium_env
+    search = HDoVSearch(env, fetch_models=False)
+    points = street_viewpoints(env.scene.bounds(), MEDIUM.city.pitch,
+                               10, seed=3)
+
+    def run_queries():
+        nodes = 0
+        for point in points:
+            search.scheme.current_cell = None
+            nodes += search.query_point(point, eta).nodes_read
+        return nodes
+
+    assert benchmark(run_queries) > 0

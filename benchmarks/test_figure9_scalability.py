@@ -1,0 +1,37 @@
+"""Bench: Figure 9 — scalability of the visibility query.
+
+Builds the 400 MB..1.6 GB dataset series (object counts scale 1x..4x)
+and reports traversal-only cost per query.  Expected shape: near-flat
+search time, slowly growing I/O.
+"""
+
+from repro.experiments.figure9_scalability import run_figure9
+from repro.scene.datasets import DATASET_SERIES
+
+
+def test_figure9_report(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: run_figure9(DATASET_SERIES, num_queries=30,
+                            dov_resolution=16, cell_size=120.0),
+        rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    # Object counts quadruple across the series ...
+    assert result.num_objects[-1] > 3 * result.num_objects[0]
+    # ... while traversal cost grows far more slowly (sub-linear).
+    time_growth = result.search_ms[-1] / max(result.search_ms[0], 1e-9)
+    io_growth = result.ios[-1] / max(result.ios[0], 1e-9)
+    object_growth = result.num_objects[-1] / result.num_objects[0]
+    assert time_growth < object_growth / 1.5
+    assert io_growth < object_growth / 1.5
+
+
+def test_tree_build_scales(benchmark):
+    """Time STR bulk loading at the largest dataset's object count."""
+    from repro.rtree.bulk import str_bulk_load
+    from repro.scene.datasets import DATASET_SERIES
+    scene = DATASET_SERIES[0].build()
+    items = [(o.mbr, o.object_id) for o in scene]
+    tree = benchmark(lambda: str_bulk_load(items))
+    assert tree.size == len(items)

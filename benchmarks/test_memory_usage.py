@@ -1,0 +1,21 @@
+"""Bench: Section 5.4's memory comparison (VISUAL 28 MB vs REVIEW 62 MB).
+
+Prints peak/mean resident model bytes over session 1.  Expected shape:
+REVIEW's peak is a multiple of VISUAL's (it caches every object its
+query box grabbed, visible or not).
+"""
+
+from repro.experiments.config import MEDIUM
+from repro.experiments.memory_usage import run_memory_comparison
+
+
+def test_memory_report(benchmark, medium_env, capsys):
+    result = benchmark.pedantic(lambda: run_memory_comparison(MEDIUM),
+                                rounds=1, iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    assert result.review_peak() > result.visual_peak()
+    # The paper's ratio is ~2.2x (62 MB / 28 MB); ours should be at
+    # least meaningfully above 1.
+    assert result.review_peak() / result.visual_peak() > 1.3

@@ -1,0 +1,28 @@
+"""Bench: Table 3 — avg frame time and variance vs eta, plus REVIEW.
+
+Prints the regenerated table.  Paper shape: frame time and variance fall
+as eta rises; REVIEW with comparable-fidelity boxes is several times
+slower and choppier than any VISUAL configuration.
+"""
+
+from repro.experiments.config import MEDIUM
+from repro.experiments.table3_frametime import run_table3
+
+
+def test_table3_report(benchmark, medium_env, capsys):
+    result = benchmark.pedantic(lambda: run_table3(MEDIUM), rounds=1,
+                                iterations=1)
+    with capsys.disabled():
+        print()
+        print(result.format_table())
+    visual_rows = result.visual_rows()
+    # Frame time at the largest eta is below the eta = 0 row.
+    assert visual_rows[-1].mean_ms < visual_rows[0].mean_ms
+    # Variance also falls (the walkthrough gets smoother).
+    assert visual_rows[-1].variance < visual_rows[0].variance
+    # REVIEW's row dominates every VISUAL row in both columns.
+    review = result.review_row()
+    assert review is not None
+    for row in visual_rows:
+        assert review.mean_ms > row.mean_ms
+        assert review.variance > row.variance

@@ -1,0 +1,53 @@
+"""Bench: incremental object removal vs full environment rebuild.
+
+Not a paper experiment — the paper's environments are static — but the
+natural extension a production system needs.  The bench compares the
+wall-clock of removing one object incrementally (tree delete + affected
+cells' DoV recompute + segment rewrite) against rebuilding the whole
+environment from scratch.
+"""
+
+import pytest
+
+from repro.core.hdov_tree import HDoVConfig, build_environment
+from repro.core.update import affected_cells, remove_object
+from repro.scene.city import CityParams, generate_city
+from repro.visibility.cells import CellGrid
+
+PARAMS = CityParams(blocks_x=6, blocks_y=6, seed=31, bunnies_per_block=3,
+                    building_fraction=0.5, bunny_subdivisions=2)
+CONFIG = HDoVConfig(dov_resolution=12, schemes=("indexed-vertical",))
+
+
+def fresh_environment():
+    scene = generate_city(PARAMS)
+    grid = CellGrid.covering(scene.bounds(), cell_size=120.0)
+    return build_environment(scene, grid, CONFIG)
+
+
+def most_visible(env):
+    counts = {}
+    for cell_id in env.grid.cell_ids():
+        for oid in env.visibility.cell(cell_id).visible_ids():
+            counts[oid] = counts.get(oid, 0) + 1
+    return max(counts, key=counts.get)
+
+
+def test_incremental_removal(benchmark, capsys):
+    def run():
+        env = fresh_environment()
+        oid = most_visible(env)
+        touched = remove_object(env, oid)
+        return env, touched
+
+    env, touched = benchmark.pedantic(run, rounds=3, iterations=1)
+    with capsys.disabled():
+        print(f"\nincremental removal touched {len(touched)} of "
+              f"{env.grid.num_cells} cells")
+    assert touched
+
+
+def test_full_rebuild(benchmark):
+    """The baseline the incremental path competes against."""
+    env = benchmark.pedantic(fresh_environment, rounds=3, iterations=1)
+    assert env.node_store.num_nodes > 0

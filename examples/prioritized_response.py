@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Frustum-prioritized traversal — the paper's future work, running.
+
+The HDoV-tree stores MBRs the paper's prototype never exploits: "regions
+that are closer to the current view frustum can be traversed first,
+while regions that are outside the view frustum can be delayed."  This
+example runs the two-phase prioritized search and shows the
+response-time win: the viewer's screen is complete after phase 1, while
+phase 2 (everything behind and beside the viewer) finishes in the
+background.
+
+Run:  python examples/prioritized_response.py
+"""
+
+import numpy as np
+
+from repro import (Camera, CellGrid, CityParams, HDoVConfig,
+                   build_environment, generate_city)
+from repro.core.priority import PrioritizedSearch
+
+
+def main() -> None:
+    city = CityParams(blocks_x=7, blocks_y=7, seed=21,
+                      bunnies_per_block=4, building_fraction=0.45)
+    scene = generate_city(city)
+    grid = CellGrid.covering(scene.bounds(), cell_size=90.0)
+    env = build_environment(scene, grid,
+                            HDoVConfig(dov_resolution=16,
+                                       schemes=("indexed-vertical",)))
+    search = PrioritizedSearch(env)
+
+    position = (city.pitch * 3, city.pitch * 3, 1.7)
+    print(f"{'view dir':>10}  {'phase-1 ms':>10}  {'total ms':>8}  "
+          f"{'phase-1 results':>15}  {'total':>5}  {'speedup':>7}")
+    for label, direction in (("+x", (1, 0, 0)), ("+y", (0, 1, 0)),
+                             ("diag", (1, 1, 0)), ("-x", (-1, 0, 0))):
+        camera = Camera(position=position,
+                        direction=np.asarray(direction, float)
+                        / np.linalg.norm(direction),
+                        up=(0, 0, 1), fov_deg=70.0, far=5000.0)
+        search._search.scheme.current_cell = None
+        env.reset_stats()
+        result = search.query(camera, eta=0.001)
+        print(f"{label:>10}  {result.first_phase_ms:>10.1f}  "
+              f"{result.total_ms:>8.1f}  "
+              f"{result.in_frustum.num_results:>15}  "
+              f"{result.completed.num_results:>5}  "
+              f"{result.speedup:>7.2f}x")
+
+    print("\nPhase 1 delivers the on-screen objects first; the answer "
+          "set is identical to the\nplain traversal's, so turning the "
+          "head needs no new database query.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Storage-scheme comparison: horizontal vs vertical vs indexed-vertical.
+
+Builds all three V-page layouts of Section 4 over one city, reports
+their on-disk sizes (Table 2's comparison), then issues the same
+sequence of cell-hopping visibility queries through each scheme and
+shows where the I/O goes: the horizontal scheme seeks for every V-page,
+the vertical scheme pays O(N_node) per cell flip, and the
+indexed-vertical scheme flips in O(N_vnode).
+
+Run:  python examples/storage_schemes.py
+"""
+
+from repro import (CellGrid, CityParams, HDoVConfig, HDoVSearch,
+                   build_environment, generate_city)
+from repro.walkthrough.session import street_viewpoints
+
+
+def main() -> None:
+    city = CityParams(blocks_x=7, blocks_y=7, seed=11,
+                      bunnies_per_block=4, building_fraction=0.45)
+    scene = generate_city(city)
+    grid = CellGrid.covering(scene.bounds(), cell_size=90.0)
+    config = HDoVConfig(
+        dov_resolution=16,
+        schemes=("horizontal", "vertical", "indexed-vertical"))
+    env = build_environment(scene, grid, config)
+
+    print(f"{env.node_store.num_nodes} tree nodes, "
+          f"{grid.num_cells} cells\n")
+    print("Table 2 analogue — storage cost (tree file excluded):")
+    for name, scheme in env.schemes.items():
+        breakdown = scheme.storage_breakdown()
+        print(f"  {name:<18} {breakdown.total_mb:8.2f} MB "
+              f"(V-pages {breakdown.vpage_bytes / 2**20:.2f} MB, "
+              f"index {breakdown.index_bytes / 2**20:.3f} MB)")
+
+    viewpoints = street_viewpoints(scene.bounds(), city.pitch, 25, seed=1)
+    print(f"\n{len(viewpoints)} cold visibility queries "
+          "(eta = 0.001) through each scheme:")
+    print(f"  {'scheme':<18} {'page reads':>10} {'seeks':>6} "
+          f"{'sequential':>10} {'sim. ms':>8}")
+    for name in config.schemes:
+        search = HDoVSearch(env, name)
+        env.reset_stats()
+        for point in viewpoints:
+            search.scheme.current_cell = None
+            search.scheme.reset_io_head()
+            search.query_point(point, 0.001)
+        light = env.light_stats
+        heavy = env.heavy_stats
+        print(f"  {name:<18} {light.reads + heavy.reads:>10} "
+              f"{light.seeks + heavy.seeks:>6} "
+              f"{light.sequential_reads + heavy.sequential_reads:>10} "
+              f"{env.total_simulated_ms():>8.1f}")
+
+    print("\nThe horizontal scheme stores a V-page per (node, cell) — "
+          "huge and seek-bound.\nThe vertical pair store only visible "
+          "nodes' V-pages in DFS order, so a query\nscans them nearly "
+          "sequentially; indexed-vertical also flips cells in "
+          "O(N_vnode).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,18 @@
+"""Comparator systems the paper evaluates against.
+
+* :mod:`repro.baselines.naive` — the (cell, list-of-objects) method:
+  per-cell visible-object lists, object LoDs only.
+* :mod:`repro.baselines.review` — the REVIEW walkthrough system
+  (VLDB'01): R-tree window queries with complement search and a
+  distance-based cache.
+* :mod:`repro.baselines.lod_rtree` — the LoD-R-tree [8]: frustum-slab
+  query boxes with static per-slab LoDs; fast inside the frustum,
+  degenerates on view changes.
+"""
+
+from repro.baselines.naive import NaiveCellList, NaiveResult
+from repro.baselines.review import ReviewSystem, ReviewResult
+from repro.baselines.lod_rtree import LodRTreeSystem, LodRTreeResult
+
+__all__ = ["NaiveCellList", "NaiveResult", "ReviewSystem", "ReviewResult",
+           "LodRTreeSystem", "LodRTreeResult"]

@@ -1,0 +1,209 @@
+"""The LoD-R-tree baseline (Kofler, Gervautz, Gruber [8]).
+
+Section 2 of the paper describes it: an R-tree combined with
+multi-resolution data where "the search method converts the
+viewing-frustum into a few rectangular query boxes (instead of one
+single large query box that bounds the view frustum), and retrieves
+only objects within these boxes.  Thus, the structure leads to high
+frame rates as long as the user stays within the viewing-frustum.
+However, its performance degenerates significantly as the user view
+changes."
+
+We reproduce that behaviour: the frustum is decomposed into depth slabs
+whose bounding boxes shrink toward the near plane (tight fit, little
+waste), objects are fetched at an LoD matched to their slab, and —
+crucially — the cached result is keyed to the *view direction*: a turn
+beyond ``requery_angle_deg`` invalidates everything, which is exactly
+the degeneration the HDoV paper calls out (the turning session makes it
+re-fetch constantly, where REVIEW's direction-free box does not).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.constants import BYTES_PER_POLYGON
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.errors import WalkthroughError
+from repro.geometry.aabb import AABB, union_aabbs
+from repro.geometry.frustum import Camera
+from repro.geometry.vec import as_vec3, normalize
+
+
+@dataclass
+class LodRTreeResult:
+    """Answer set and accounting of one LoD-R-tree query."""
+
+    boxes: List[AABB] = field(default_factory=list)
+    object_ids: List[int] = field(default_factory=list)
+    fetched_ids: List[int] = field(default_factory=list)
+    nodes_read: int = 0
+    total_polygons: int = 0
+    total_model_bytes: int = 0
+
+    @property
+    def num_results(self) -> int:
+        return len(self.object_ids)
+
+
+class LodRTreeSystem:
+    """Frustum-slab window queries over the shared environment's R-tree.
+
+    Parameters
+    ----------
+    env:
+        Shared environment.
+    depth:
+        Far limit of the query slabs (how far the system "sees").
+    num_slabs:
+        Frustum depth slabs; each gets its own query box and LoD: the
+        nearest slab fetches the finest level, the farthest the
+        coarsest.
+    requery_angle_deg:
+        View-direction change that invalidates the cached result (the
+        view-variance weakness).
+    """
+
+    def __init__(self, env: HDoVEnvironment, *, depth: float = 500.0,
+                 num_slabs: int = 3, fov_deg: float = 70.0,
+                 requery_angle_deg: float = 15.0,
+                 requery_distance: float = 25.0,
+                 fetch_models: bool = True) -> None:
+        if depth <= 0:
+            raise WalkthroughError(f"depth must be positive: {depth}")
+        if num_slabs < 1:
+            raise WalkthroughError(f"num_slabs must be >= 1: {num_slabs}")
+        self.env = env
+        self.depth = depth
+        self.num_slabs = num_slabs
+        self.fov_deg = fov_deg
+        self.requery_angle = math.radians(requery_angle_deg)
+        self.requery_distance = requery_distance
+        self.fetch_models = fetch_models
+        self._cache: Dict[int, Tuple[float, int]] = {}
+        self._last_position: Optional[np.ndarray] = None
+        self._last_direction: Optional[np.ndarray] = None
+        self._last_result: Optional[LodRTreeResult] = None
+        self.queries_issued = 0
+        self.cache_hits = 0
+
+    # -- frustum decomposition ---------------------------------------------
+
+    def query_boxes(self, position, direction) -> List[AABB]:
+        """Depth-slab boxes covering the view frustum."""
+        position = as_vec3(position)
+        forward = normalize(direction)
+        half_tan = math.tan(math.radians(self.fov_deg) / 2.0)
+        boxes: List[AABB] = []
+        edges = np.linspace(0.0, self.depth, self.num_slabs + 1)
+        # Lateral directions spanning the frustum cross-section.
+        up = np.array([0.0, 0.0, 1.0])
+        if abs(float(np.dot(forward, up))) > 0.99:
+            up = np.array([1.0, 0.0, 0.0])
+        right = normalize(np.cross(forward, up))
+        true_up = normalize(np.cross(right, forward))
+        for near, far in zip(edges[:-1], edges[1:]):
+            corners = []
+            for dist in (near, far):
+                half = half_tan * max(dist, 1e-6)
+                center = position + forward * dist
+                for su in (-1, 1):
+                    for sv in (-1, 1):
+                        corners.append(center + right * (su * half)
+                                       + true_up * (sv * half))
+            boxes.append(AABB.from_points(np.array(corners)))
+        return boxes
+
+    def _slab_fraction(self, slab_index: int) -> float:
+        """LoD blend for a slab: nearest slab finest (1), farthest
+        coarsest (0)."""
+        if self.num_slabs == 1:
+            return 1.0
+        return 1.0 - slab_index / (self.num_slabs - 1)
+
+    # -- queries --------------------------------------------------------------
+
+    def needs_requery(self, position, direction) -> bool:
+        if self._last_position is None or self._last_direction is None:
+            return True
+        moved = float(np.linalg.norm(as_vec3(position)
+                                     - self._last_position))
+        if moved > self.requery_distance:
+            return True
+        cos_angle = float(np.clip(np.dot(normalize(direction),
+                                         self._last_direction), -1.0, 1.0))
+        return math.acos(cos_angle) > self.requery_angle
+
+    def frame(self, position, direction) -> Tuple[LodRTreeResult, bool]:
+        """Per-frame entry point with the direction-keyed cache."""
+        if self._last_result is not None and \
+                not self.needs_requery(position, direction):
+            return self._last_result, False
+        result = self.query(position, direction)
+        return result, True
+
+    def query(self, position, direction) -> LodRTreeResult:
+        """Issue the slab queries and fetch new objects."""
+        position = as_vec3(position)
+        forward = normalize(direction)
+        result = LodRTreeResult(boxes=self.query_boxes(position, forward))
+        self.queries_issued += 1
+        self._last_position = position.copy()
+        self._last_direction = forward.copy()
+
+        def on_node(node) -> None:
+            if node.node_offset is not None:
+                self.env.node_store.read_node(node.node_offset)
+            result.nodes_read += 1
+
+        # Assign each object the finest slab that contains it.
+        slab_of: Dict[int, int] = {}
+        for index, box in enumerate(result.boxes):
+            for oid in self.env.tree.window_query(box, on_node=on_node):
+                if oid not in slab_of:
+                    slab_of[oid] = index
+        result.object_ids = sorted(slab_of)
+
+        fetch_order = sorted(
+            slab_of, key=lambda o: self.env.object_store
+            .ref(self.env.objects[o].blob_id).first_page)
+        current: Dict[int, Tuple[float, int]] = {}
+        for oid in fetch_order:
+            record = self.env.objects[oid]
+            fraction = self._slab_fraction(slab_of[oid])
+            polygons = record.chain.interpolated_polygons(fraction)
+            nbytes = polygons * BYTES_PER_POLYGON
+            result.total_polygons += polygons
+            result.total_model_bytes += nbytes
+            cached = self._cache.get(oid)
+            if cached is not None and cached[0] >= fraction:
+                self.cache_hits += 1
+                current[oid] = cached
+                continue
+            if self.fetch_models:
+                self.env.object_store.fetch_prefix(record.blob_id, nbytes)
+            result.fetched_ids.append(oid)
+            current[oid] = (fraction, nbytes)
+        self._cache = current
+        self._last_result = result
+        return result
+
+    # -- accounting ------------------------------------------------------------
+
+    @property
+    def resident_bytes(self) -> int:
+        return sum(nbytes for _f, nbytes in self._cache.values())
+
+    def clear_cache(self) -> None:
+        self._cache.clear()
+        self._last_position = None
+        self._last_direction = None
+        self._last_result = None
+
+    def __repr__(self) -> str:
+        return (f"LodRTreeSystem(depth={self.depth}, "
+                f"slabs={self.num_slabs}, queries={self.queries_issued})")

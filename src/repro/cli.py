@@ -1,0 +1,127 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2 [--scale small|medium|large]
+    python -m repro run fig7 fig8 table3
+    python -m repro run all --scale small
+
+Each experiment prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured comparison).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments import (run_figure7, run_figure8, run_figure9,
+                               run_figure10a, run_figure10b, run_figure11,
+                               run_figure12, run_memory_comparison,
+                               run_table2, run_table3)
+from repro.experiments.ablations import (run_flip_scaling, run_nvo_ablation,
+                                         run_split_ablation)
+from repro.experiments.baseline_comparison import run_baseline_comparison
+from repro.experiments.extensions import (run_node_cache_sweep,
+                                          run_prefetch_extension,
+                                          run_priority_extension)
+from repro.experiments.config import get_scale
+
+#: Experiment id -> (description, runner taking a scale).
+EXPERIMENTS: Dict[str, tuple] = {
+    "table2": ("storage space of the three schemes",
+               lambda scale: run_table2(scale)),
+    "fig7": ("search time vs eta (all schemes + naive)",
+             lambda scale: run_figure7(scale)),
+    "fig8": ("disk I/Os vs eta (total and light-weight)",
+             lambda scale: run_figure8(scale)),
+    "fig9": ("scalability over the 400MB-1.6GB dataset series",
+             lambda scale: run_figure9(num_queries=30, dov_resolution=16,
+                                       cell_size=120.0)),
+    "fig10a": ("frame time: VISUAL vs REVIEW",
+               lambda scale: run_figure10a(scale)),
+    "fig10b": ("frame time: VISUAL at two thresholds",
+               lambda scale: run_figure10b(scale)),
+    "fig11": ("visual fidelity (missed objects)",
+              lambda scale: run_figure11(scale)),
+    "fig12": ("search performance across motion patterns",
+              lambda scale: run_figure12(scale)),
+    "table3": ("frame time and variance vs eta",
+               lambda scale: run_table3(scale)),
+    "memory": ("peak memory: VISUAL vs REVIEW",
+               lambda scale: run_memory_comparison(scale)),
+    "ablation-nvo": ("eq.4 NVO termination heuristic on/off",
+                     lambda scale: run_nvo_ablation(scale)),
+    "ablation-split": ("Ang-Tan vs Guttman node splitting",
+                       lambda scale: run_split_ablation(scale)),
+    "ablation-flip": ("cell-flip I/O vs tree size",
+                      lambda scale: run_flip_scaling()),
+    "baselines": ("VISUAL vs REVIEW vs LoD-R-tree across sessions",
+                  lambda scale: run_baseline_comparison(scale)),
+    "ext-priority": ("frustum-prioritized traversal response time",
+                     lambda scale: run_priority_extension(scale)),
+    "ext-prefetch": ("cell prefetching: warm-hit flip costs",
+                     lambda scale: run_prefetch_extension(scale)),
+    "ext-nodecache": ("tree-node cache-size sweep",
+                      lambda scale: run_node_cache_sweep(scale)),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="HDoV-tree (ICDE 2003) reproduction experiments")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one or more experiments")
+    run.add_argument("experiments", nargs="+",
+                     help="experiment ids (or 'all')")
+    run.add_argument("--scale", default="medium",
+                     choices=["small", "medium", "large"],
+                     help="environment scale (default: medium)")
+    return parser
+
+
+def cmd_list() -> int:
+    width = max(len(name) for name in EXPERIMENTS)
+    for name, (description, _runner) in EXPERIMENTS.items():
+        print(f"  {name:<{width}}  {description}")
+    return 0
+
+
+def cmd_run(names, scale_name: str) -> int:
+    if "all" in names:
+        names = list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        print("use 'python -m repro list'", file=sys.stderr)
+        return 2
+    scale = get_scale(scale_name)
+    for name in names:
+        _description, runner = EXPERIMENTS[name]
+        started = time.time()
+        result = runner(scale)
+        elapsed = time.time() - started
+        print()
+        print(result.format_table())
+        print(f"[{name} completed in {elapsed:.1f}s wall-clock "
+              f"at scale {scale_name!r}]")
+    return 0
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return cmd_list()
+    return cmd_run(args.experiments, args.scale)
+
+
+if __name__ == "__main__":       # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The paper's primary contribution: the HDoV-tree.
+
+* :mod:`repro.core.vpage` — the V-page data model (per-cell, per-node
+  ``(DoV, NVO)`` vectors) and its bottom-up instantiation from object
+  DoVs.
+* :mod:`repro.core.hdov_tree` — the build pipeline and the
+  :class:`~repro.core.hdov_tree.HDoVEnvironment` bundle that experiments
+  consume.
+* :mod:`repro.core.schemes` — the three storage schemes of Section 4.
+* :mod:`repro.core.search` — the threshold traversal of Figure 3.
+* :mod:`repro.core.delta` — the delta search used in walkthroughs.
+"""
+
+from repro.core.hdov_tree import HDoVConfig, HDoVEnvironment, build_environment
+from repro.core.search import HDoVSearch, SearchResult
+from repro.core.delta import DeltaSearch
+
+__all__ = ["HDoVConfig", "HDoVEnvironment", "build_environment",
+           "HDoVSearch", "SearchResult", "DeltaSearch"]

@@ -1,0 +1,81 @@
+"""V-page file compaction.
+
+Incremental updates (:mod:`repro.core.update`) append fresh segments
+and V-pages, leaving the old ones as garbage.  Compaction rewrites the
+indexed-vertical scheme's files with only the live data, restoring the
+DFS-ordered per-cell layout the scheme's sequential-scan property
+depends on.  The analogue of a database's vacuum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.core.schemes.indexed_vertical import IndexedVerticalScheme
+from repro.errors import HDoVError
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass(frozen=True)
+class CompactionReport:
+    """Before/after byte sizes of one compaction run."""
+
+    vpage_bytes_before: int
+    vpage_bytes_after: int
+    index_bytes_before: int
+    index_bytes_after: int
+
+    @property
+    def reclaimed_bytes(self) -> int:
+        return ((self.vpage_bytes_before - self.vpage_bytes_after)
+                + (self.index_bytes_before - self.index_bytes_after))
+
+    @property
+    def garbage_fraction(self) -> float:
+        before = self.vpage_bytes_before + self.index_bytes_before
+        if before == 0:
+            return 0.0
+        return self.reclaimed_bytes / before
+
+
+def compact_indexed_vertical(env: HDoVEnvironment, *,
+                             scheme_name: str = "indexed-vertical"
+                             ) -> CompactionReport:
+    """Rewrite the scheme's files from the environment's live V-page
+    data, replacing the scheme's backing files in place.
+
+    The environment's ``cell_vpages`` are authoritative (the update path
+    keeps them current), so compaction is a clean rebuild of the layout
+    rather than a file-level garbage walk.
+    """
+    scheme = env.scheme(scheme_name)
+    if not isinstance(scheme, IndexedVerticalScheme):
+        raise HDoVError(
+            f"compaction supports the indexed-vertical scheme, "
+            f"got {scheme.name!r}")
+
+    before_vpage = scheme.vpage_file.byte_size
+    before_index = (scheme.index_file.byte_size
+                    if scheme.index_file is not None else 0)
+
+    disk = env.config.disk()
+    new_scheme = IndexedVerticalScheme(
+        PagedFile(f"vpages-{scheme_name}-compact",
+                  page_size=env.config.page_size, disk=disk,
+                  stats=env.light_stats),
+        PagedFile(f"vindex-{scheme_name}-compact",
+                  page_size=env.config.page_size, disk=disk,
+                  stats=env.light_stats))
+    new_scheme.build(env.node_store.num_nodes, env.cell_vpages)
+    current = scheme.current_cell
+    env.schemes[scheme_name] = new_scheme
+    if current is not None:
+        new_scheme.flip_to_cell(current)
+
+    return CompactionReport(
+        vpage_bytes_before=before_vpage,
+        vpage_bytes_after=new_scheme.vpage_file.byte_size,
+        index_bytes_before=before_index,
+        index_bytes_after=new_scheme.index_file.byte_size,
+    )

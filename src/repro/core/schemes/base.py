@@ -1,0 +1,155 @@
+"""Common interface of the V-page storage schemes.
+
+A scheme stores, for every (cell, visible node) pair, the node's V-page,
+and answers two runtime operations:
+
+* ``flip_to_cell(cell)`` — make ``cell`` current, paying whatever I/O the
+  scheme's per-cell structure requires ("flipping the V-page-index",
+  Section 4.2–4.3);
+* ``ventries(node_offset)`` — the current cell's V-page for a node, or
+  ``None`` when the node is invisible, paying the V-page read.
+
+Schemes also report their storage cost for Table 2.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.vpage import CellVPages, VEntry
+from repro.errors import SchemeError
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass(frozen=True)
+class StorageBreakdown:
+    """Byte sizes of a scheme's on-disk structures (excluding the tree
+    file, which is identical across schemes — the paper excludes it too)."""
+
+    scheme: str
+    vpage_bytes: int
+    index_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.vpage_bytes + self.index_bytes
+
+    @property
+    def total_mb(self) -> float:
+        return self.total_bytes / (1024.0 * 1024.0)
+
+
+class StorageScheme(abc.ABC):
+    """Abstract base of the three storage schemes."""
+
+    name: str = "abstract"
+
+    def __init__(self, vpage_file: PagedFile,
+                 index_file: Optional[PagedFile] = None) -> None:
+        self.vpage_file = vpage_file
+        self.index_file = index_file
+        self.current_cell: Optional[int] = None
+        self.flips = 0
+        #: Prefetched per-cell state (double buffering): cell id ->
+        #: captured segment state, installed for free at flip time.
+        self._warm: Dict[int, object] = {}
+        self.prefetched_flips = 0
+
+    # -- build -------------------------------------------------------------
+
+    @abc.abstractmethod
+    def build(self, num_nodes: int, cells: List[CellVPages]) -> None:
+        """Lay out all cells' V-pages on disk.  ``num_nodes`` is the total
+        node count (DFS offsets are < num_nodes)."""
+
+    # -- runtime ------------------------------------------------------------
+
+    def flip_to_cell(self, cell_id: int) -> None:
+        """Make ``cell_id`` the current cell, paying the flip I/O —
+        unless the cell was prefetched, in which case the warm state is
+        installed for free."""
+        if cell_id == self.current_cell:
+            return
+        warm = self._warm.pop(cell_id, None)
+        if warm is not None:
+            self._restore_cell_state(warm)
+            self.prefetched_flips += 1
+        else:
+            self._load_cell(cell_id)
+        self.current_cell = cell_id
+        self.flips += 1
+
+    def prefetch_cell(self, cell_id: int) -> None:
+        """Read ``cell_id``'s per-cell structures *now* (charging the
+        I/O on the current, presumably quiet, frame) and stash them so
+        the eventual flip is free.  A later flip to a different cell
+        simply leaves the warm entry unused."""
+        if cell_id == self.current_cell or cell_id in self._warm:
+            return
+        current_state = self._capture_cell_state()
+        self._load_cell(cell_id)
+        self._warm[cell_id] = self._capture_cell_state()
+        # Restore the active cell's state without re-reading it.
+        if self.current_cell is not None and current_state is not None:
+            self._restore_cell_state(current_state)
+
+    def drop_prefetches(self) -> None:
+        """Discard warm cells (e.g. the viewer changed direction)."""
+        self._warm.clear()
+
+    @abc.abstractmethod
+    def _load_cell(self, cell_id: int) -> None:
+        """Scheme-specific flip work (may be a no-op)."""
+
+    def _capture_cell_state(self):
+        """Snapshot of the loaded per-cell state (``None`` when the
+        scheme keeps none, like the horizontal scheme)."""
+        return None
+
+    def _restore_cell_state(self, state) -> None:
+        """Install a snapshot captured by :meth:`_capture_cell_state`."""
+
+    @abc.abstractmethod
+    def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
+        """Current cell's V-page of a node; ``None`` if invisible.
+        Charges the V-page read through the backing file."""
+
+    def _require_cell(self) -> int:
+        if self.current_cell is None:
+            raise SchemeError(f"{self.name}: no current cell; flip first")
+        return self.current_cell
+
+    # -- reporting ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def storage_breakdown(self) -> StorageBreakdown:
+        """Byte cost of the scheme's structures, for Table 2."""
+
+    #: Approximate resident memory the scheme needs at runtime for the
+    #: current cell (vertical keeps N_node pointers, indexed-vertical only
+    #: N_vnode pairs, horizontal nothing).
+    @abc.abstractmethod
+    def resident_bytes(self) -> int:
+        ...
+
+    def reset_io_head(self) -> None:
+        """Forget file positions so the next query pays cold seeks."""
+        self.vpage_file.reset_head()
+        if self.index_file is not None:
+            self.index_file.reset_head()
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(cell={self.current_cell}, "
+                f"flips={self.flips})")
+
+
+def vpages_needed(num_entries: int, page_size: int, header: int,
+                  ventry_size: int) -> int:
+    """Pages needed for one node's V-entries (always >= 1)."""
+    payload = header + num_entries * ventry_size
+    if payload > page_size:
+        raise SchemeError(
+            f"V-page overflow: {num_entries} entries need {payload} bytes")
+    return 1

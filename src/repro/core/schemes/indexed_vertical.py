@@ -1,0 +1,123 @@
+"""The indexed-vertical storage scheme (paper, Section 4.3).
+
+Like the vertical scheme, but the per-cell segment stores only the
+*visible* nodes' ``(node offset, V-page pointer)`` pairs — segments are
+variable-length, addressed through a one-to-one directory (cell id ->
+first page, pair count).  Flipping costs ``O(N_vnode)`` I/Os instead of
+``O(N_node)``.
+
+Storage cost:
+``(size_pointer + size_integer) * N_vnode * c + size_vpage * N_vnode * c``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.constants import SIZE_INTEGER, SIZE_POINTER
+from repro.core.schemes.base import StorageBreakdown, StorageScheme
+from repro.core.vpage import CellVPages, VEntry
+from repro.errors import SchemeError
+from repro.storage.serializer import (decode_index_pairs, decode_vpage,
+                                      encode_index_pairs, encode_vpage)
+
+
+class IndexedVerticalScheme(StorageScheme):
+
+    name = "indexed-vertical"
+
+    def __init__(self, vpage_file, index_file) -> None:
+        super().__init__(vpage_file, index_file)
+        self.num_nodes = 0
+        self.num_cells = 0
+        #: cell id -> (first index page, page count, pair count).
+        self._directory: Dict[int, Tuple[int, int, int]] = {}
+        self._current_pairs: Dict[int, int] = {}
+        self._total_vpages = 0
+        self._total_pairs = 0
+        self._built = False
+
+    # -- build ------------------------------------------------------------
+
+    def build(self, num_nodes: int, cells: List[CellVPages]) -> None:
+        if self._built:
+            raise SchemeError("indexed-vertical scheme already built")
+        if self.index_file is None:
+            raise SchemeError("indexed-vertical scheme needs an index file")
+        self.num_nodes = num_nodes
+        self.num_cells = len(cells)
+        if self.num_cells == 0:
+            raise SchemeError("no cells to build")
+        pair_size = SIZE_POINTER + SIZE_INTEGER
+        for cell in cells:
+            pairs: List[Tuple[int, int]] = []
+            for offset in cell.visible_offsets_dfs():
+                payload = encode_vpage(offset, cell.ventries(offset),
+                                       self.vpage_file.page_size)
+                pointer = self.vpage_file.append_page(payload)
+                pairs.append((offset, pointer))
+                self._total_vpages += 1
+            self._total_pairs += len(pairs)
+            data = encode_index_pairs(pairs)
+            page_size = self.index_file.page_size
+            num_pages = max(int(math.ceil(len(data) / page_size)), 1)
+            first = self.index_file.allocate_many(num_pages)
+            for i in range(num_pages):
+                self.index_file.write_page(first + i,
+                                           data[i * page_size:(i + 1) * page_size])
+            self._directory[cell.cell_id] = (first, num_pages, len(pairs))
+        self._built = True
+
+    # -- runtime ------------------------------------------------------------
+
+    def _load_cell(self, cell_id: int) -> None:
+        """Flip: read only the visible nodes' pairs — ``O(N_vnode)`` I/O."""
+        entry = self._directory.get(cell_id)
+        if entry is None:
+            raise SchemeError(f"cell {cell_id} out of range")
+        first, num_pages, pair_count = entry
+        assert self.index_file is not None
+        data = self.index_file.read_run(first, num_pages)
+        pairs = decode_index_pairs(data, pair_count)
+        self._current_pairs = dict(pairs)
+
+    def _capture_cell_state(self):
+        return dict(self._current_pairs) if self._current_pairs else None
+
+    def _restore_cell_state(self, state) -> None:
+        self._current_pairs = dict(state)
+
+    def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
+        self._require_cell()
+        if not 0 <= node_offset < self.num_nodes:
+            raise SchemeError(f"node offset {node_offset} out of range")
+        pointer = self._current_pairs.get(node_offset)
+        if pointer is None:
+            return None
+        data = self.vpage_file.read_page(pointer)
+        stored_offset, ventries = decode_vpage(data)
+        if stored_offset != node_offset:
+            raise SchemeError("V-page node-offset mismatch")
+        return ventries
+
+    # -- reporting ------------------------------------------------------------
+
+    def storage_breakdown(self) -> StorageBreakdown:
+        # (size_pointer + size_integer) * N_vnode * c
+        #   + size_vpage * N_vnode * c
+        return StorageBreakdown(
+            scheme=self.name,
+            vpage_bytes=self.vpage_file.page_size * self._total_vpages,
+            index_bytes=(SIZE_POINTER + SIZE_INTEGER) * self._total_pairs,
+        )
+
+    def resident_bytes(self) -> int:
+        return (SIZE_POINTER + SIZE_INTEGER) * len(self._current_pairs)
+
+    @property
+    def avg_visible_nodes(self) -> float:
+        """Mean N_vnode over cells — eq. 7's bounded quantity."""
+        if not self.num_cells:
+            return 0.0
+        return self._total_pairs / self.num_cells

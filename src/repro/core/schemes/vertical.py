@@ -1,0 +1,133 @@
+"""The vertical storage scheme (paper, Section 4.2).
+
+Structures:
+
+* **V-page-index file** — ``c`` fixed-size segments, each holding
+  ``N_node`` V-page pointers (``NIL`` for invisible nodes).  Flipping to a
+  cell reads the whole segment sequentially:
+  ``size_pointer * N_node / size_page`` page accesses.
+* **V-page file** — per cell, the V-pages of the cell's *visible* nodes
+  stored contiguously "in the order of the tree nodes accessed in the
+  depth-first traversal, so that all V-pages accessed during a visibility
+  query can be retrieved in a sequential scan."
+
+Runtime: the current segment is memory-resident, so finding a node's
+V-page pointer is a memory access; only the V-page read costs I/O.
+
+Storage cost: ``size_pointer * N_node * c + size_vpage * N_vnode * c``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+from repro.constants import SIZE_POINTER
+from repro.core.schemes.base import StorageBreakdown, StorageScheme
+from repro.core.vpage import CellVPages, VEntry
+from repro.errors import SchemeError
+from repro.storage.serializer import (NIL, decode_pointer_array, decode_vpage,
+                                      encode_pointer_array, encode_vpage)
+
+
+class VerticalScheme(StorageScheme):
+
+    name = "vertical"
+
+    def __init__(self, vpage_file, index_file) -> None:
+        super().__init__(vpage_file, index_file)
+        self.num_nodes = 0
+        self.num_cells = 0
+        self._segment_pages = 0
+        self._index_first_page: Optional[int] = None
+        self._current_segment: List[int] = []
+        self._total_vpages = 0
+
+    # -- build --------------------------------------------------------------
+
+    def build(self, num_nodes: int, cells: List[CellVPages]) -> None:
+        if self._index_first_page is not None:
+            raise SchemeError("vertical scheme already built")
+        if self.index_file is None:
+            raise SchemeError("vertical scheme needs an index file")
+        self.num_nodes = num_nodes
+        self.num_cells = len(cells)
+        if self.num_cells == 0:
+            raise SchemeError("no cells to build")
+        self._segment_pages = max(
+            int(math.ceil(num_nodes * SIZE_POINTER
+                          / self.index_file.page_size)), 1)
+        self._index_first_page = self.index_file.allocate_many(
+            self._segment_pages * self.num_cells)
+
+        for cell in cells:
+            pointers = [NIL] * num_nodes
+            # DFS order == offset order; contiguous allocation per cell.
+            for offset in cell.visible_offsets_dfs():
+                payload = encode_vpage(offset, cell.ventries(offset),
+                                       self.vpage_file.page_size)
+                pointers[offset] = self.vpage_file.append_page(payload)
+                self._total_vpages += 1
+            self._write_segment(cell.cell_id, pointers)
+
+    def _write_segment(self, cell_id: int, pointers: List[int]) -> None:
+        assert self.index_file is not None
+        data = encode_pointer_array(pointers)
+        first = self._segment_first_page(cell_id)
+        page_size = self.index_file.page_size
+        for i in range(self._segment_pages):
+            chunk = data[i * page_size:(i + 1) * page_size]
+            self.index_file.write_page(first + i, chunk)
+
+    def _segment_first_page(self, cell_id: int) -> int:
+        assert self._index_first_page is not None
+        return self._index_first_page + cell_id * self._segment_pages
+
+    # -- runtime -------------------------------------------------------------
+
+    def _load_cell(self, cell_id: int) -> None:
+        """Flip: read the whole ``N_node``-pointer segment sequentially.
+
+        Cost is ``O(N_node)`` pages — the scalability weakness the
+        indexed-vertical scheme fixes.
+        """
+        if not 0 <= cell_id < self.num_cells:
+            raise SchemeError(f"cell {cell_id} out of range")
+        assert self.index_file is not None
+        data = self.index_file.read_run(self._segment_first_page(cell_id),
+                                        self._segment_pages)
+        self._current_segment = decode_pointer_array(data, self.num_nodes)
+
+    def _capture_cell_state(self):
+        return list(self._current_segment) if self._current_segment else None
+
+    def _restore_cell_state(self, state) -> None:
+        self._current_segment = list(state)
+
+    def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
+        self._require_cell()
+        if not 0 <= node_offset < self.num_nodes:
+            raise SchemeError(f"node offset {node_offset} out of range")
+        if not self._current_segment:
+            raise SchemeError("segment not loaded")
+        pointer = self._current_segment[node_offset]
+        if pointer == NIL:
+            return None
+        data = self.vpage_file.read_page(pointer)
+        stored_offset, ventries = decode_vpage(data)
+        if stored_offset != node_offset:
+            raise SchemeError("V-page node-offset mismatch")
+        return ventries
+
+    # -- reporting ------------------------------------------------------------
+
+    def storage_breakdown(self) -> StorageBreakdown:
+        # size_pointer * N_node * c + size_vpage * N_vnode * c
+        return StorageBreakdown(
+            scheme=self.name,
+            vpage_bytes=self.vpage_file.page_size * self._total_vpages,
+            index_bytes=SIZE_POINTER * self.num_nodes * self.num_cells,
+        )
+
+    def resident_bytes(self) -> int:
+        return SIZE_POINTER * self.num_nodes

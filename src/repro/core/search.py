@@ -1,0 +1,227 @@
+"""The HDoV-tree traversal algorithm (paper, Figure 3).
+
+For each entry of each visited node:
+
+* ``DoV == 0`` — prune the branch (line 3);
+* leaf entry — retrieve the object LoD blended by eq. 6 (lines 4-5);
+* internal entry with ``DoV <= eta`` *and* the polygon heuristic of
+  eq. 4 satisfied — retrieve the node's internal LoD blended by eq. 5 and
+  terminate the branch (lines 7-8);
+* otherwise — recurse (line 10).
+
+I/O is charged as the traversal goes: one page per node read, one per
+V-page read (through the storage scheme), and the model-data pages for
+every retrieved LoD (through the object store).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.core.schemes.base import StorageScheme
+from repro.errors import HDoVError
+from repro.lod.selection import internal_lod_fraction, leaf_lod_fraction
+
+
+@dataclass(frozen=True)
+class RetrievedObject:
+    """One object in the answer set, at its eq.-6 LoD."""
+
+    object_id: int
+    dov: float
+    #: Blend factor k of eq. 6 (1 = finest).
+    fraction: float
+    polygons: int
+    bytes: int
+
+
+@dataclass(frozen=True)
+class RetrievedInternal:
+    """One internal LoD in the answer set, at its eq.-5 blend."""
+
+    node_offset: int
+    dov: float
+    #: Blend fraction DoV/eta of eq. 5.
+    fraction: float
+    polygons: int
+    bytes: int
+    #: Leaf objects this internal LoD stands in for.
+    covered_objects: tuple
+
+
+@dataclass
+class SearchResult:
+    """Answer set plus accounting of one visibility query."""
+
+    cell_id: int
+    eta: float
+    objects: List[RetrievedObject] = field(default_factory=list)
+    internals: List[RetrievedInternal] = field(default_factory=list)
+    nodes_read: int = 0
+    vpages_read: int = 0
+    #: True when this query changed the current cell (paid a flip).
+    flipped: bool = False
+
+    @property
+    def total_polygons(self) -> int:
+        return (sum(o.polygons for o in self.objects)
+                + sum(i.polygons for i in self.internals))
+
+    @property
+    def total_model_bytes(self) -> int:
+        return (sum(o.bytes for o in self.objects)
+                + sum(i.bytes for i in self.internals))
+
+    @property
+    def num_results(self) -> int:
+        return len(self.objects) + len(self.internals)
+
+    def object_ids(self) -> List[int]:
+        return sorted(o.object_id for o in self.objects)
+
+    def covered_object_ids(self) -> List[int]:
+        """All object ids represented in the answer — directly or through
+        an internal LoD."""
+        ids = {o.object_id for o in self.objects}
+        for internal in self.internals:
+            ids.update(internal.covered_objects)
+        return sorted(ids)
+
+
+class HDoVSearch:
+    """Point-visibility queries over a built environment.
+
+    Parameters
+    ----------
+    env:
+        The built environment.
+    scheme:
+        Which storage scheme to search through (a name from
+        ``env.schemes``); default resolves only when one scheme is built.
+    fetch_models:
+        When False the heavy-weight model fetches are skipped (the
+        scalability experiment of Figure 9 "excludes the cost to retrieve
+        the objects").
+    """
+
+    def __init__(self, env: HDoVEnvironment,
+                 scheme: Optional[str] = None, *,
+                 fetch_models: bool = True,
+                 use_nvo_heuristic: bool = True) -> None:
+        self.env = env
+        self._scheme: StorageScheme = env.scheme(scheme)
+        self.fetch_models = fetch_models
+        #: The eq.-4 condition can be disabled for the ablation bench.
+        self.use_nvo_heuristic = use_nvo_heuristic
+        self._log_m = math.log(env.config.fanout)
+        #: log_M(s) for the heuristic, from the configured ratio.
+        self._log_m_s = math.log(env.config.ratio_s) / self._log_m
+        #: node offset -> level, from the in-memory tree (view-invariant
+        #: metadata, resident like the paper's NVO bookkeeping).
+        self._levels = {n.node_offset: n.level
+                        for n in env.tree.iter_nodes_dfs()}
+
+    @property
+    def scheme(self) -> StorageScheme:
+        return self._scheme
+
+    # -- public API -----------------------------------------------------------
+
+    def query_point(self, point, eta: float) -> SearchResult:
+        """Visibility query at a viewpoint; resolves the cell and runs
+        :meth:`query_cell`."""
+        return self.query_cell(self.env.grid.cell_of_point(point), eta)
+
+    def query_cell(self, cell_id: int, eta: float) -> SearchResult:
+        """Visibility query for a cell id."""
+        if eta < 0.0:
+            raise HDoVError(f"eta must be >= 0, got {eta}")
+        flipped = self._scheme.current_cell != cell_id
+        self._scheme.flip_to_cell(cell_id)
+        result = SearchResult(cell_id=cell_id, eta=eta, flipped=flipped)
+        root = self.env.node_store.read_node(0)
+        result.nodes_read += 1
+        self._search_node(root, eta, result)
+        return result
+
+    # -- figure 3 -------------------------------------------------------------
+
+    def _search_node(self, node, eta: float, result: SearchResult) -> None:
+        ventries = self._scheme.ventries(node.node_offset)
+        result.vpages_read += 1
+        if ventries is None:
+            if node.node_offset == 0:
+                # A fully-hidden cell: even the root has no V-page, and
+                # the answer set is empty.
+                return
+            # For any other node the parent saw DoV > 0, so its V-page
+            # must exist; reaching here means corrupted data.
+            raise HDoVError(
+                f"node {node.node_offset} has no V-page but was traversed")
+        if len(ventries) != len(node.entries):
+            raise HDoVError("V-page does not match node entry count")
+        for (mbr, target, lod_ptr), (dov, nvo) in zip(node.entries, ventries):
+            if dov == 0.0:
+                continue                                   # line 3: prune
+            if node.is_leaf:
+                self._retrieve_object(target, dov, result)  # lines 4-5
+            elif dov <= eta and self._should_terminate(target, nvo):
+                self._retrieve_internal(target, dov, eta, result)  # line 8
+            else:
+                child = self.env.node_store.read_node(target)      # line 10
+                result.nodes_read += 1
+                self._search_node(child, eta, result)
+
+    def _should_terminate(self, child_offset: int, nvo: int) -> bool:
+        """Equation 4: ``h (1 + log_M s) < log_M NVO``.
+
+        ``h`` is the height of the subtree under the entry: the child's
+        level plus one (a leaf child's subtree spans one level of
+        objects).  When the heuristic is disabled, termination is allowed
+        whenever ``DoV <= eta`` (the paper's first condition alone).
+        """
+        if not self.use_nvo_heuristic:
+            return True
+        if nvo <= 0:
+            return True
+        level = self._levels.get(child_offset)
+        if level is None:
+            raise HDoVError(f"unknown node offset {child_offset}")
+        height = level + 1
+        lhs = height * (1.0 + self._log_m_s)
+        rhs = math.log(nvo) / self._log_m
+        return lhs < rhs
+
+    # -- retrieval ------------------------------------------------------------
+
+    def _retrieve_object(self, object_id: int, dov: float,
+                         result: SearchResult) -> None:
+        record = self.env.objects.get(object_id)
+        if record is None:
+            raise HDoVError(f"no object record for id {object_id}")
+        k = leaf_lod_fraction(dov)
+        polygons = record.chain.interpolated_polygons(k)
+        nbytes = record.bytes_for_fraction(k)
+        if self.fetch_models:
+            self.env.object_store.fetch_prefix(record.blob_id, nbytes)
+        result.objects.append(RetrievedObject(
+            object_id=object_id, dov=dov, fraction=k, polygons=polygons,
+            bytes=nbytes))
+
+    def _retrieve_internal(self, node_offset: int, dov: float, eta: float,
+                           result: SearchResult) -> None:
+        record = self.env.internals.get(node_offset)
+        if record is None:
+            raise HDoVError(f"no internal LoD for node {node_offset}")
+        fraction = internal_lod_fraction(dov, eta)
+        polygons = record.lod.chain.interpolated_polygons(fraction)
+        nbytes = record.bytes_for_fraction(fraction)
+        if self.fetch_models:
+            self.env.object_store.fetch_prefix(record.blob_id, nbytes)
+        covered = tuple(self.env.descendants.get(node_offset, ()))
+        result.internals.append(RetrievedInternal(
+            node_offset=node_offset, dov=dov, fraction=fraction,
+            polygons=polygons, bytes=nbytes, covered_objects=covered))

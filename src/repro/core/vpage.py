@@ -1,0 +1,127 @@
+"""V-page data model and bottom-up instantiation.
+
+A V-page holds the view-variant data of one tree node in one cell: a
+``(DoV, NVO)`` pair per node entry (paper, Section 4.1: "The V-page
+contains V-entries, one for each entry in a tree node").
+
+:func:`instantiate_cell` computes all V-pages of one cell from the
+per-object DoVs, applying the aggregation rules of Section 3.2:
+
+* a leaf entry's DoV is its object's DoV; NVO is 1 if visible else 0;
+* an internal entry's DoV is the sum of the DoVs in the child node it
+  points to (attribute 2), and its NVO is the count of visible leaf
+  descendants;
+* only *visible* nodes (some entry DoV > 0) get a V-page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import HDoVError
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.visibility.dov import CellVisibility, aggregate_upward
+
+#: One V-entry: (DoV, NVO).
+VEntry = Tuple[float, int]
+
+
+@dataclass
+class CellVPages:
+    """All V-pages of one cell, keyed by node offset.
+
+    Nodes absent from ``pages`` are invisible in the cell.
+    """
+
+    cell_id: int
+    pages: Dict[int, List[VEntry]]
+
+    @property
+    def num_visible_nodes(self) -> int:
+        return len(self.pages)
+
+    def ventries(self, node_offset: int) -> List[VEntry]:
+        try:
+            return self.pages[node_offset]
+        except KeyError:
+            raise HDoVError(
+                f"node {node_offset} is not visible in cell {self.cell_id}"
+            ) from None
+
+    def is_visible(self, node_offset: int) -> bool:
+        return node_offset in self.pages
+
+    def visible_offsets_dfs(self) -> List[int]:
+        """Visible node offsets in DFS order (offsets *are* DFS indices,
+        so this is just the sorted key list) — the on-disk V-page order of
+        the vertical schemes."""
+        return sorted(self.pages)
+
+
+def instantiate_cell(tree: RTree, visibility: CellVisibility) -> CellVPages:
+    """Compute the cell's V-pages bottom-up over the in-memory tree."""
+    pages: Dict[int, List[VEntry]] = {}
+    _instantiate_node(tree.root, visibility, pages)
+    return CellVPages(cell_id=visibility.cell_id, pages=pages)
+
+
+def _instantiate_node(node: Node, visibility: CellVisibility,
+                      pages: Dict[int, List[VEntry]]) -> Tuple[float, int]:
+    """Recursive helper: returns (sum of entry DoVs, visible object count)
+    of ``node`` and records its V-page if visible."""
+    if node.node_offset is None:
+        raise HDoVError("node offsets unassigned; persist the tree first")
+    ventries: List[VEntry] = []
+    if node.is_leaf:
+        for entry in node.entries:
+            dov = visibility.get(entry.object_id)  # type: ignore[arg-type]
+            ventries.append((dov, 1 if dov > 0.0 else 0))
+    else:
+        for entry in node.entries:
+            child_sum, child_nvo = _instantiate_node(
+                entry.child, visibility, pages)  # type: ignore[arg-type]
+            ventries.append((aggregate_upward([child_sum]), child_nvo))
+    total_dov = min(sum(d for d, _ in ventries), 1.0)
+    total_nvo = sum(n for _, n in ventries)
+    if any(d > 0.0 for d, _ in ventries):
+        pages[node.node_offset] = ventries
+    return total_dov, total_nvo
+
+
+def check_vpage_invariants(tree: RTree, cell: CellVPages) -> None:
+    """Raise :class:`HDoVError` on a violation of Section 3.2's attributes.
+
+    1. every DoV >= 0;
+    2. an internal entry's DoV equals the (clamped) sum of the child
+       node's entry DoVs;
+    3. a visible node has at least one visible child/object.
+    """
+    for node in tree.iter_nodes_dfs():
+        if node.node_offset is None or not cell.is_visible(node.node_offset):
+            continue
+        ventries = cell.ventries(node.node_offset)
+        if len(ventries) != node.num_entries:
+            raise HDoVError("V-page entry count mismatch")
+        if not any(d > 0.0 for d, _ in ventries):
+            raise HDoVError("visible node with no visible entry")
+        for entry, (dov, nvo) in zip(node.entries, ventries):
+            if dov < 0.0:
+                raise HDoVError(f"negative DoV {dov}")
+            if entry.child is not None and dov > 0.0:
+                child_offset = entry.child.node_offset
+                if child_offset is None or not cell.is_visible(child_offset):
+                    raise HDoVError(
+                        "visible internal entry points to invisible node")
+                child_entries = cell.ventries(child_offset)
+                child_sum = min(sum(d for d, _ in child_entries), 1.0)
+                if abs(child_sum - dov) > 1e-9:
+                    raise HDoVError(
+                        f"DoV aggregation mismatch: entry={dov}, "
+                        f"child sum={child_sum}")
+                child_nvo = sum(n for _, n in child_entries)
+                if child_nvo != nvo:
+                    raise HDoVError(
+                        f"NVO aggregation mismatch: entry={nvo}, "
+                        f"child sum={child_nvo}")

@@ -1,0 +1,55 @@
+"""Exception hierarchy for the HDoV-tree reproduction library.
+
+All library-raised exceptions derive from :class:`ReproError`, so callers
+can catch one base class.  Subsystems raise the most specific subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate mesh, empty AABB, bad shape)."""
+
+
+class StorageError(ReproError):
+    """Storage-layer failure (bad page id, corrupt record, closed file)."""
+
+
+class PageNotFoundError(StorageError):
+    """A page id was requested that has never been allocated."""
+
+
+class BufferPoolError(StorageError):
+    """Buffer-pool misuse (e.g. evicting a pinned page, unpin underflow)."""
+
+
+class SerializationError(StorageError):
+    """A record could not be encoded into or decoded from page bytes."""
+
+
+class RTreeError(ReproError):
+    """R-tree structural failure or API misuse."""
+
+
+class VisibilityError(ReproError):
+    """Visibility precomputation failure (bad cell grid, missing DoV)."""
+
+
+class HDoVError(ReproError):
+    """HDoV-tree construction or traversal failure."""
+
+
+class SchemeError(HDoVError):
+    """Storage-scheme failure (unknown cell, missing V-page, bad flip)."""
+
+
+class WalkthroughError(ReproError):
+    """Walkthrough-session or frame-simulation failure."""
+
+
+class ExperimentError(ReproError):
+    """Experiment driver misconfiguration."""

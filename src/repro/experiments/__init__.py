@@ -1,0 +1,28 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Every driver consumes a shared :class:`~repro.experiments.config
+.ExperimentScale` environment, runs the paper's measurement, and returns
+a typed result object whose ``format_table()`` prints the same rows or
+series the paper reports.  Benchmarks under ``benchmarks/`` call these
+drivers; they are also importable for interactive use.
+"""
+
+from repro.experiments.config import (ExperimentScale, SMALL, MEDIUM, LARGE,
+                                      build_experiment_environment)
+from repro.experiments.table2_storage import run_table2
+from repro.experiments.figure7_search_time import run_figure7
+from repro.experiments.figure8_io import run_figure8
+from repro.experiments.figure9_scalability import run_figure9
+from repro.experiments.figure10_frametime import run_figure10a, run_figure10b
+from repro.experiments.figure11_fidelity import run_figure11
+from repro.experiments.figure12_sessions import run_figure12
+from repro.experiments.table3_frametime import run_table3
+from repro.experiments.memory_usage import run_memory_comparison
+
+__all__ = [
+    "ExperimentScale", "SMALL", "MEDIUM", "LARGE",
+    "build_experiment_environment",
+    "run_table2", "run_figure7", "run_figure8", "run_figure9",
+    "run_figure10a", "run_figure10b", "run_figure11", "run_figure12",
+    "run_table3", "run_memory_comparison",
+]

@@ -1,0 +1,83 @@
+"""Exporting experiment results to CSV.
+
+The drivers return typed result objects whose ``format_table()`` prints
+human-readable tables; this module writes the same data as CSV files so
+the series can be plotted (Figure 7/8/9 curves, Figure 10 frame-time
+traces) with any external tool.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Iterable, List, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.figure7_search_time import Figure7Result
+from repro.experiments.figure8_io import Figure8Result
+from repro.experiments.figure9_scalability import Figure9Result
+from repro.experiments.table3_frametime import Table3Result
+from repro.walkthrough.visual import WalkthroughReport
+
+
+def write_csv(path: str, headers: Sequence[str],
+              rows: Iterable[Sequence[object]]) -> int:
+    """Write one CSV file; returns the number of data rows written."""
+    directory = os.path.dirname(os.path.abspath(path))
+    if directory and not os.path.isdir(directory):
+        raise ExperimentError(f"no such directory: {directory}")
+    count = 0
+    with open(path, "w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+            count += 1
+    return count
+
+
+def export_figure7(result: Figure7Result, path: str) -> int:
+    """One row per eta; one column per scheme plus the naive line."""
+    headers = ["eta"] + sorted(result.search_ms) + ["naive"]
+    rows: List[List[object]] = []
+    for i, eta in enumerate(result.etas):
+        row: List[object] = [eta]
+        for name in sorted(result.search_ms):
+            row.append(result.search_ms[name][i])
+        row.append(result.naive_ms)
+        rows.append(row)
+    return write_csv(path, headers, rows)
+
+
+def export_figure8(result: Figure8Result, path: str) -> int:
+    headers = ["eta", "total_ios", "light_ios", "heavy_ios",
+               "naive_total", "naive_light"]
+    rows = [[eta, result.total_ios[i], result.light_ios[i],
+             result.heavy_ios[i], result.naive_total, result.naive_light]
+            for i, eta in enumerate(result.etas)]
+    return write_csv(path, headers, rows)
+
+
+def export_figure9(result: Figure9Result, path: str) -> int:
+    headers = ["dataset_mb", "objects", "nodes", "search_ms", "ios"]
+    rows = [[result.nominal_mb[i], result.num_objects[i],
+             result.num_nodes[i], result.search_ms[i], result.ios[i]]
+            for i in range(len(result.names))]
+    return write_csv(path, headers, rows)
+
+
+def export_table3(result: Table3Result, path: str) -> int:
+    headers = ["eta_or_system", "mean_frame_ms", "variance", "fidelity"]
+    rows = [[row.label, row.mean_ms, row.variance, row.fidelity]
+            for row in result.rows]
+    return write_csv(path, headers, rows)
+
+
+def export_frame_trace(report: WalkthroughReport, path: str) -> int:
+    """Per-frame trace (the raw series behind Figure 10's curves)."""
+    headers = ["frame", "cell", "frame_ms", "search_ms", "light_ios",
+               "heavy_ios", "polygons", "fidelity", "resident_bytes"]
+    rows = [[f.frame_index, f.cell_id, f.frame_ms, f.search_ms,
+             f.light_ios, f.heavy_ios, f.polygons, f.fidelity,
+             f.resident_bytes] for f in report.frames]
+    return write_csv(path, headers, rows)

@@ -1,0 +1,79 @@
+"""Figure 8 — disk I/O counts vs eta (indexed-vertical scheme).
+
+(a) total disk I/Os per query, including the heavy-weight model data;
+(b) light-weight I/Os only (tree nodes + V-pages + index segments),
+    which for very small eta sit *above* the naive method (the extra
+    internal nodes and V-pages) and fall as eta grows.
+
+Both panels share one run; the naive method is the flat reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.baselines.naive import NaiveCellList
+from repro.core.search import HDoVSearch
+from repro.experiments.config import (ETA_SWEEP, ExperimentScale, MEDIUM,
+                                      build_experiment_environment)
+from repro.experiments.report import format_series
+
+
+@dataclass
+class Figure8Result:
+    etas: List[float]
+    total_ios: List[float]
+    light_ios: List[float]
+    heavy_ios: List[float]
+    naive_total: float
+    naive_light: float
+    num_queries: int
+
+    def format_table(self) -> str:
+        panel_a = format_series(
+            "Figure 8(a): total disk I/Os per query (incl. model data)",
+            "eta", self.etas,
+            [("hdov", self.total_ios),
+             ("naive", [self.naive_total] * len(self.etas))])
+        panel_b = format_series(
+            "Figure 8(b): light-weight I/Os per query (nodes + V-pages)",
+            "eta", self.etas,
+            [("hdov", self.light_ios),
+             ("naive", [self.naive_light] * len(self.etas))])
+        return panel_a + "\n\n" + panel_b
+
+
+def run_figure8(scale: ExperimentScale = MEDIUM,
+                etas: Sequence[float] = ETA_SWEEP) -> Figure8Result:
+    env = build_experiment_environment(scale)
+    from repro.walkthrough.session import street_viewpoints
+    viewpoints = street_viewpoints(env.scene.bounds(), scale.city.pitch,
+                                   scale.num_query_viewpoints, seed=3)
+    naive = NaiveCellList(env)
+    env.reset_stats()
+    for point in viewpoints:
+        naive.reset_io_head()
+        naive.query_point(point)
+    n = len(viewpoints)
+    naive_light = env.light_stats.total_ios / n
+    naive_total = (env.light_stats.total_ios
+                   + env.heavy_stats.total_ios) / n
+
+    search = HDoVSearch(env)
+    total_ios: List[float] = []
+    light_ios: List[float] = []
+    heavy_ios: List[float] = []
+    for eta in etas:
+        env.reset_stats()
+        for point in viewpoints:
+            search.scheme.current_cell = None
+            search.scheme.reset_io_head()
+            search.query_point(point, eta)
+        light_ios.append(env.light_stats.total_ios / n)
+        heavy_ios.append(env.heavy_stats.total_ios / n)
+        total_ios.append(light_ios[-1] + heavy_ios[-1])
+    return Figure8Result(etas=list(etas), total_ios=total_ios,
+                         light_ios=light_ios, heavy_ios=heavy_ios,
+                         naive_total=naive_total, naive_light=naive_light,
+                         num_queries=n)

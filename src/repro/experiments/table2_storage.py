@@ -1,0 +1,62 @@
+"""Table 2 — storage space required by the three schemes.
+
+Paper result (default dataset): horizontal 4 GB, vertical 267 MB,
+indexed-vertical 152.8 MB — "the space taken by the horizontal scheme is
+very huge ... almost 20 times that of the other two schemes."
+
+We build all three schemes over the same environment and report their
+storage breakdowns (excluding the tree file, as the paper does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.schemes.base import StorageBreakdown
+from repro.experiments.config import (ExperimentScale, MEDIUM,
+                                      build_experiment_environment)
+from repro.experiments.report import format_table
+
+ALL_SCHEMES = ("horizontal", "vertical", "indexed-vertical")
+
+
+@dataclass
+class Table2Result:
+    breakdowns: Dict[str, StorageBreakdown]
+    num_nodes: int
+    num_cells: int
+    avg_visible_nodes: float
+
+    @property
+    def horizontal_over_indexed(self) -> float:
+        return (self.breakdowns["horizontal"].total_bytes
+                / self.breakdowns["indexed-vertical"].total_bytes)
+
+    def format_table(self) -> str:
+        rows: List[List[object]] = []
+        for name in ALL_SCHEMES:
+            b = self.breakdowns[name]
+            rows.append([name, round(b.total_mb, 2),
+                         round(b.vpage_bytes / 2 ** 20, 2),
+                         round(b.index_bytes / 2 ** 20, 3)])
+        table = format_table(
+            "Table 2: storage space required by the schemes",
+            ["scheme", "total MB", "V-pages MB", "index MB"], rows)
+        note = (f"\nnodes={self.num_nodes} cells={self.num_cells} "
+                f"avg N_vnode={self.avg_visible_nodes:.1f} "
+                f"horizontal/indexed ratio={self.horizontal_over_indexed:.1f}x")
+        return table + note
+
+
+def run_table2(scale: ExperimentScale = MEDIUM) -> Table2Result:
+    env = build_experiment_environment(scale, schemes=ALL_SCHEMES)
+    breakdowns = {name: scheme.storage_breakdown()
+                  for name, scheme in env.schemes.items()}
+    indexed = env.schemes["indexed-vertical"]
+    return Table2Result(
+        breakdowns=breakdowns,
+        num_nodes=env.node_store.num_nodes,
+        num_cells=env.grid.num_cells,
+        avg_visible_nodes=getattr(indexed, "avg_visible_nodes", 0.0),
+    )

@@ -1,0 +1,25 @@
+"""Geometry substrate: vectors, bounding boxes, meshes, rays, frusta.
+
+This package replaces the graphics/OpenGL substrate of the paper's
+prototype.  Everything is numpy-backed and deterministic.
+"""
+
+from repro.geometry.aabb import AABB, union_aabbs
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.frustum import Camera, Frustum
+from repro.geometry.rays import (
+    ray_aabb_intersect,
+    rays_vs_aabbs,
+    sphere_direction_grid,
+)
+
+__all__ = [
+    "AABB",
+    "union_aabbs",
+    "TriangleMesh",
+    "Camera",
+    "Frustum",
+    "ray_aabb_intersect",
+    "rays_vs_aabbs",
+    "sphere_direction_grid",
+]

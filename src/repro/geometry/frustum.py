@@ -1,0 +1,140 @@
+"""Cameras and view frusta.
+
+The walkthrough systems use a camera to define the view frustum; REVIEW
+converts the frustum into spatial query boxes, and the frame model weighs
+objects inside vs outside the frustum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.vec import as_vec3, normalize
+
+
+@dataclass(frozen=True)
+class Camera:
+    """A pinhole camera: position, view direction, field of view.
+
+    ``up`` is used only to orient the frustum side planes; it must not be
+    parallel to ``direction``.
+    """
+
+    position: np.ndarray
+    direction: np.ndarray
+    up: np.ndarray
+    fov_deg: float = 60.0
+    aspect: float = 4.0 / 3.0
+    near: float = 0.1
+    far: float = 2000.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "position", as_vec3(self.position))
+        object.__setattr__(self, "direction", normalize(self.direction))
+        object.__setattr__(self, "up", normalize(self.up))
+        if not 0.0 < self.fov_deg < 180.0:
+            raise GeometryError(f"fov_deg out of range: {self.fov_deg}")
+        if self.near <= 0 or self.far <= self.near:
+            raise GeometryError(
+                f"invalid near/far: {self.near}/{self.far}")
+        if abs(float(np.dot(self.direction, self.up))) > 1.0 - 1e-9:
+            raise GeometryError("camera up is parallel to direction")
+
+    @property
+    def right(self) -> np.ndarray:
+        return normalize(np.cross(self.direction, self.up))
+
+    def frustum(self) -> "Frustum":
+        return Frustum.from_camera(self)
+
+    def moved_to(self, position, direction=None) -> "Camera":
+        return Camera(
+            position=position,
+            direction=self.direction if direction is None else direction,
+            up=self.up,
+            fov_deg=self.fov_deg,
+            aspect=self.aspect,
+            near=self.near,
+            far=self.far,
+        )
+
+
+@dataclass(frozen=True)
+class Plane:
+    """Half-space ``dot(normal, x) + d >= 0`` is the *inside*."""
+
+    normal: np.ndarray
+    d: float
+
+    def signed_distance(self, point) -> float:
+        return float(np.dot(self.normal, as_vec3(point)) + self.d)
+
+
+class Frustum:
+    """Six-plane view frustum with AABB intersection tests."""
+
+    def __init__(self, planes: List[Plane]) -> None:
+        if len(planes) != 6:
+            raise GeometryError(f"frustum needs 6 planes, got {len(planes)}")
+        self.planes = planes
+
+    @classmethod
+    def from_camera(cls, cam: Camera) -> "Frustum":
+        pos = cam.position
+        fwd = cam.direction
+        right = cam.right
+        up = normalize(np.cross(right, fwd))
+        half_v = np.tan(np.radians(cam.fov_deg) / 2.0)
+        half_h = half_v * cam.aspect
+
+        def plane_through(point, normal) -> Plane:
+            n = normalize(normal)
+            return Plane(n, -float(np.dot(n, point)))
+
+        planes = [
+            plane_through(pos + fwd * cam.near, fwd),            # near
+            plane_through(pos + fwd * cam.far, -fwd),            # far
+            # Side planes pass through the camera position.
+            plane_through(pos, np.cross(up, fwd + right * half_h)),   # right
+            plane_through(pos, np.cross(fwd - right * half_h, up)),   # left
+            plane_through(pos, np.cross(fwd + up * half_v, right)),   # top
+            plane_through(pos, np.cross(right, fwd - up * half_v)),   # bottom
+        ]
+        return cls(planes)
+
+    def contains_point(self, point) -> bool:
+        return all(p.signed_distance(point) >= 0.0 for p in self.planes)
+
+    def intersects_aabb(self, box: AABB) -> bool:
+        """Conservative plane test: False only when the box is certainly
+        outside (fully behind some plane)."""
+        corners = box.corners()
+        for plane in self.planes:
+            distances = corners @ plane.normal + plane.d
+            if np.all(distances < 0.0):
+                return False
+        return True
+
+    def bounding_aabb(self, cam: Camera) -> AABB:
+        """AABB of the frustum's 8 corner points (REVIEW's single big
+        query box)."""
+        pos = cam.position
+        fwd = cam.direction
+        right = cam.right
+        up = normalize(np.cross(right, fwd))
+        half_v = np.tan(np.radians(cam.fov_deg) / 2.0)
+        half_h = half_v * cam.aspect
+        corners = []
+        for depth in (cam.near, cam.far):
+            center = pos + fwd * depth
+            for su in (-1, 1):
+                for sv in (-1, 1):
+                    corners.append(center
+                                   + right * (su * half_h * depth)
+                                   + up * (sv * half_v * depth))
+        return AABB.from_points(np.array(corners))

@@ -1,0 +1,73 @@
+"""Rigid transforms and camera orientation helpers.
+
+Used by the walkthrough layer (look-at cameras, heading rotations for
+the turning session) and by scene construction (placing rotated
+buildings).  All matrices are 3x3 rotation matrices acting on row
+vectors via ``points @ R.T``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.vec import as_vec3, normalize
+
+
+def rotation_about_z(angle_rad: float) -> np.ndarray:
+    """Rotation by ``angle_rad`` about +z (the city's up axis)."""
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    return np.array([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+
+
+def rotation_about_axis(axis, angle_rad: float) -> np.ndarray:
+    """Rodrigues rotation about an arbitrary unit axis."""
+    unit = normalize(axis)
+    x, y, z = unit
+    c, s = np.cos(angle_rad), np.sin(angle_rad)
+    cross = np.array([[0.0, -z, y], [z, 0.0, -x], [-y, x, 0.0]])
+    return c * np.eye(3) + s * cross + (1 - c) * np.outer(unit, unit)
+
+
+def look_at_direction(position, target) -> np.ndarray:
+    """Unit view direction from ``position`` toward ``target``."""
+    direction = as_vec3(target) - as_vec3(position)
+    norm = float(np.linalg.norm(direction))
+    if norm == 0.0:
+        raise GeometryError("look-at target coincides with position")
+    return direction / norm
+
+
+def heading_to_direction(heading_rad: float) -> np.ndarray:
+    """Ground-plane view direction for a compass heading (0 = +x)."""
+    return np.array([np.cos(heading_rad), np.sin(heading_rad), 0.0])
+
+
+def direction_to_heading(direction) -> float:
+    """Inverse of :func:`heading_to_direction` (ignores z)."""
+    d = as_vec3(direction)
+    if d[0] == 0.0 and d[1] == 0.0:
+        raise GeometryError("vertical direction has no heading")
+    return float(np.arctan2(d[1], d[0]))
+
+
+def rotate_mesh(mesh: TriangleMesh, rotation: np.ndarray,
+                center=None) -> TriangleMesh:
+    """Rotate a mesh about ``center`` (default: its AABB center)."""
+    rotation = np.asarray(rotation, dtype=np.float64)
+    if rotation.shape != (3, 3):
+        raise GeometryError(f"rotation must be 3x3, got {rotation.shape}")
+    pivot = (mesh.aabb().center if center is None
+             else as_vec3(center))
+    verts = (mesh.vertices - pivot) @ rotation.T + pivot
+    return TriangleMesh(verts, mesh.faces)
+
+
+def is_rotation(matrix: np.ndarray, tol: float = 1e-9) -> bool:
+    """True when ``matrix`` is a proper rotation (orthonormal, det +1)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.shape != (3, 3):
+        return False
+    identity_error = np.abs(matrix @ matrix.T - np.eye(3)).max()
+    return identity_error < tol and abs(np.linalg.det(matrix) - 1.0) < tol

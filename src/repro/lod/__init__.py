@@ -1,0 +1,10 @@
+"""LoD layer: runtime LoD selection (paper eqs. 5-6) and internal-LoD
+generation (bottom-up aggregation and simplification)."""
+
+from repro.lod.selection import (internal_lod_fraction, leaf_lod_fraction,
+                                 select_internal_lod, select_leaf_lod)
+from repro.lod.internal import InternalLOD, build_internal_lods
+
+__all__ = ["internal_lod_fraction", "leaf_lod_fraction",
+           "select_internal_lod", "select_leaf_lod",
+           "InternalLOD", "build_internal_lods"]

@@ -1,0 +1,53 @@
+"""Runtime LoD selection — the paper's equations 5 and 6.
+
+Both equations blend the highest and lowest LoDs of a chain linearly:
+
+* internal nodes terminated at by the threshold test use the fraction
+  ``DoV / eta`` (eq. 5) — a node whose DoV is right at the threshold gets
+  the finest internal LoD, a nearly-hidden node gets the coarsest;
+* leaf objects use ``k = min(DoV / MAXDOV, 1)`` (eq. 6) with
+  ``MAXDOV = 0.5`` — an object subtending half the sphere (the maximum
+  possible from outside its bounding box) gets full detail.
+
+The blend's polygon load is the same linear combination of the two
+levels' polygon counts; :meth:`repro.simplify.lod_chain.LODChain
+.interpolated_polygons` applies it.
+"""
+
+from __future__ import annotations
+
+from repro.constants import MAXDOV
+from repro.errors import HDoVError
+from repro.simplify.lod_chain import LODChain
+
+
+def internal_lod_fraction(dov: float, eta: float) -> float:
+    """Blend fraction of eq. 5 for an internal LoD.
+
+    Defined for ``0 < DoV <= eta`` (the traversal only terminates at an
+    internal LoD under that condition); the result is in (0, 1].
+    """
+    if eta <= 0.0:
+        raise HDoVError(f"eta must be positive for internal LoDs, got {eta}")
+    if not 0.0 < dov <= eta:
+        raise HDoVError(
+            f"internal LoD selection requires 0 < DoV <= eta, got "
+            f"DoV={dov}, eta={eta}")
+    return dov / eta
+
+
+def leaf_lod_fraction(dov: float) -> float:
+    """Blend fraction ``k`` of eq. 6 for a leaf object."""
+    if dov < 0.0:
+        raise HDoVError(f"negative DoV: {dov}")
+    return min(dov / MAXDOV, 1.0)
+
+
+def select_internal_lod(chain: LODChain, dov: float, eta: float) -> int:
+    """Polygon count of the internal LoD selected by eq. 5."""
+    return chain.interpolated_polygons(internal_lod_fraction(dov, eta))
+
+
+def select_leaf_lod(chain: LODChain, dov: float) -> int:
+    """Polygon count of the object LoD selected by eq. 6."""
+    return chain.interpolated_polygons(leaf_lod_fraction(dov))

@@ -1,0 +1,104 @@
+"""R-tree deletion (Guttman's Delete / CondenseTree).
+
+The paper's environments are static, but a credible R-tree supports
+updates: a dynamic virtual environment (objects added and removed at
+runtime) is the natural evolution of the system.  Deletion follows
+Guttman 1984: find the leaf, remove the entry, condense the tree by
+eliminating underfull nodes and reinserting their orphaned entries, and
+shorten the tree when the root is left with a single child.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import RTreeError
+from repro.geometry.aabb import AABB
+from repro.rtree.entry import Entry
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+
+
+def delete(tree: RTree, mbr: AABB, object_id: int) -> bool:
+    """Remove one ``(mbr, object_id)`` record.
+
+    Returns True if an entry was removed, False if no matching entry
+    exists.  Matching requires the exact MBR (as inserted) and id.
+    """
+    leaf = _find_leaf(tree.root, mbr, object_id)
+    if leaf is None:
+        return False
+    for index, entry in enumerate(leaf.entries):
+        if entry.object_id == object_id and entry.mbr == mbr:
+            del leaf.entries[index]
+            break
+    tree.size -= 1
+    _condense(tree, leaf)
+    _shorten_root(tree)
+    return True
+
+
+def delete_by_id(tree: RTree, object_id: int) -> bool:
+    """Remove the first entry with ``object_id`` (full scan fallback for
+    callers that did not keep the exact MBR)."""
+    for leaf in tree.iter_leaves():
+        for entry in leaf.entries:
+            if entry.object_id == object_id:
+                return delete(tree, entry.mbr, object_id)
+    return False
+
+
+def _find_leaf(node: Node, mbr: AABB, object_id: int) -> Optional[Node]:
+    if node.is_leaf:
+        for entry in node.entries:
+            if entry.object_id == object_id and entry.mbr == mbr:
+                return node
+        return None
+    for entry in node.entries:
+        if entry.mbr.contains(mbr) or entry.mbr.intersects(mbr):
+            found = _find_leaf(entry.child, mbr, object_id)  # type: ignore[arg-type]
+            if found is not None:
+                return found
+    return None
+
+
+def _condense(tree: RTree, node: Node) -> None:
+    """Guttman CondenseTree: walk up, collecting underfull nodes'
+    entries for reinsertion, tightening MBRs along the way."""
+    orphans: List[Entry] = []
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        if current.num_entries < tree.min_entries:
+            parent_entry = parent.entry_for_child(current)
+            parent.entries.remove(parent_entry)
+            orphans.extend(_collect_leaf_entries(current))
+        else:
+            parent.entry_for_child(current).mbr = current.mbr()
+        current = parent
+
+    for entry in orphans:
+        # Reinsert at leaf level; tree.insert handles splits/overflow.
+        tree.size -= 1        # insert() will increment it back
+        tree.insert(entry.mbr, entry.object_id)  # type: ignore[arg-type]
+
+
+def _collect_leaf_entries(node: Node) -> List[Entry]:
+    if node.is_leaf:
+        return list(node.entries)
+    collected: List[Entry] = []
+    for child in node.children():
+        collected.extend(_collect_leaf_entries(child))
+    return collected
+
+
+def _shorten_root(tree: RTree) -> None:
+    """If a non-leaf root holds a single child, that child becomes the
+    root (repeatedly)."""
+    while (not tree.root.is_leaf) and tree.root.num_entries == 1:
+        only = tree.root.entries[0].child
+        assert only is not None
+        only.parent = None
+        tree.root = only
+    if not tree.root.entries and not tree.root.is_leaf:
+        raise RTreeError("root lost all entries")  # pragma: no cover

@@ -1,0 +1,52 @@
+"""R-tree entries.
+
+An entry is an (MBR, target) pair: the target is a child node for internal
+nodes and an opaque object id for leaves.  HDoV enriches entries with
+view-variant ``(DoV, NVO)`` data at search time, so the static structure
+stays view-invariant (paper, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Union
+
+from repro.geometry.aabb import AABB
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rtree.node import Node
+
+
+@dataclass
+class Entry:
+    """One slot of an R-tree node.
+
+    Attributes
+    ----------
+    mbr:
+        Minimum bounding box of the subtree or object.
+    child:
+        Child node, or ``None`` in a leaf entry.
+    object_id:
+        Object identifier, or ``None`` in an internal entry.
+    """
+
+    mbr: AABB
+    child: Optional["Node"] = None
+    object_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.child is None) == (self.object_id is None):
+            raise ValueError("entry must have exactly one of child/object_id")
+
+    @property
+    def is_leaf_entry(self) -> bool:
+        return self.object_id is not None
+
+    @property
+    def target(self) -> Union["Node", int]:
+        return self.object_id if self.child is None else self.child
+
+    def __repr__(self) -> str:
+        kind = f"obj={self.object_id}" if self.is_leaf_entry else "child"
+        return f"Entry({kind}, mbr={self.mbr})"

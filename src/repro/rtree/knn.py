@@ -1,0 +1,54 @@
+"""k-nearest-neighbor queries over the R-tree.
+
+Not used by the paper's experiments, but part of any credible R-tree:
+the distance-based semantic cache replacement of REVIEW, and prefetch
+policies ranking candidate cells, both want "nearest objects first".
+Implements the classic best-first (priority queue) kNN over node MBRs.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import List, Tuple
+
+from repro.errors import RTreeError
+from repro.geometry.vec import as_vec3
+from repro.rtree.tree import RTree
+
+
+def knn_query(tree: RTree, point, k: int) -> List[Tuple[int, float]]:
+    """The ``k`` objects with smallest MBR distance to ``point``.
+
+    Returns ``(object_id, distance)`` pairs in ascending distance
+    order.  Distances are MBR distances (zero inside the box), matching
+    how REVIEW ranks objects for eviction.
+    """
+    if k < 1:
+        raise RTreeError(f"k must be >= 1, got {k}")
+    point = as_vec3(point)
+    counter = itertools.count()          # tie-breaker for equal distances
+    heap: List[tuple] = [(0.0, next(counter), tree.root, None)]
+    result: List[Tuple[int, float]] = []
+    while heap and len(result) < k:
+        distance, _tie, node, object_id = heapq.heappop(heap)
+        if node is None:
+            result.append((object_id, distance))
+            continue
+        for entry in node.entries:
+            entry_distance = entry.mbr.min_distance_to_point(point)
+            if entry.is_leaf_entry:
+                heapq.heappush(heap, (entry_distance, next(counter),
+                                      None, entry.object_id))
+            else:
+                heapq.heappush(heap, (entry_distance, next(counter),
+                                      entry.child, None))
+    return result
+
+
+def nearest_object(tree: RTree, point) -> Tuple[int, float]:
+    """Convenience wrapper: the single nearest object."""
+    results = knn_query(tree, point, 1)
+    if not results:
+        raise RTreeError("tree is empty")
+    return results[0]

@@ -1,0 +1,116 @@
+"""Persisting R-tree nodes to pages.
+
+Nodes are written one per page in DFS pre-order; a node's position in that
+order is its *node offset*, the key the V-page storage schemes use to look
+up visibility data (paper, Section 4.2: "Each node in the tree stores an
+offset starting from the beginning of the segment of the V-page-index").
+
+The persisted form is what the search algorithms actually read at query
+time, so node I/O is charged through the backing
+:class:`~repro.storage.pagedfile.PagedFile`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RTreeError
+from repro.geometry.aabb import AABB
+from repro.rtree.node import Node
+from repro.rtree.tree import RTree
+from repro.storage.pagedfile import PagedFile
+from repro.storage.serializer import NIL, decode_node, encode_node
+
+KIND_LEAF = 0
+KIND_INTERNAL = 1
+
+
+class PersistedNode:
+    """Decoded on-page node."""
+
+    __slots__ = ("page_id", "kind", "level", "node_offset", "entries")
+
+    def __init__(self, page_id: int, kind: int, level: int, node_offset: int,
+                 entries: List[Tuple[AABB, int, int]]) -> None:
+        self.page_id = page_id
+        self.kind = kind
+        self.level = level
+        self.node_offset = node_offset
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == KIND_LEAF
+
+    def __repr__(self) -> str:
+        return (f"PersistedNode(page={self.page_id}, offset={self.node_offset}, "
+                f"level={self.level}, entries={len(self.entries)})")
+
+
+class NodeStore:
+    """Reads and writes tree nodes in a paged file."""
+
+    def __init__(self, pfile: PagedFile) -> None:
+        self.pfile = pfile
+        self.root_page: Optional[int] = None
+        self.num_nodes = 0
+        #: node offset -> page id, filled at write time.
+        self.offset_to_page: Dict[int, int] = {}
+
+    def write_tree(self, tree: RTree,
+                   lod_pointers: Optional[Dict[int, int]] = None) -> int:
+        """Persist every node of ``tree``; returns the root's page id.
+
+        Side effects: assigns ``node.node_offset`` on the in-memory nodes
+        (DFS pre-order index).  ``lod_pointers`` optionally maps a node
+        offset to the blob id of that node's internal LoD, stored in the
+        node header's vindex field by the HDoV layer separately; here the
+        per-entry ``lod_ptr`` field carries the *object* LoD pointer for
+        leaf entries and ``NIL`` otherwise.
+        """
+        nodes = list(tree.iter_nodes_dfs())
+        for offset, node in enumerate(nodes):
+            node.node_offset = offset
+        self.num_nodes = len(nodes)
+
+        # Pre-allocate pages in DFS order so offsets map to contiguous pages.
+        pages = [self.pfile.allocate() for _ in nodes]
+        self.offset_to_page = {i: pages[i] for i in range(len(nodes))}
+
+        for node, page_id in zip(nodes, pages):
+            entries: List[Tuple[AABB, int, int]] = []
+            for entry in node.entries:
+                if entry.is_leaf_entry:
+                    oid = entry.object_id
+                    lod_ptr = (lod_pointers or {}).get(oid, NIL)  # type: ignore[arg-type]
+                    entries.append((entry.mbr, oid, lod_ptr))    # type: ignore[arg-type]
+                else:
+                    child_offset = entry.child.node_offset        # type: ignore[union-attr]
+                    if child_offset is None:
+                        raise RTreeError("child offset unassigned")
+                    entries.append((entry.mbr, child_offset, NIL))
+            kind = KIND_LEAF if node.is_leaf else KIND_INTERNAL
+            payload = encode_node(kind, node.level, node.node_offset, entries,
+                                  self.pfile.page_size)
+            self.pfile.write_page(page_id, payload)
+        self.root_page = pages[0]
+        return self.root_page
+
+    def read_node(self, node_offset: int) -> PersistedNode:
+        """Fetch and decode the node at ``node_offset`` (one page read)."""
+        try:
+            page_id = self.offset_to_page[node_offset]
+        except KeyError:
+            raise RTreeError(f"unknown node offset {node_offset}") from None
+        data = self.pfile.read_page(page_id)
+        kind, level, stored_offset, entries = decode_node(data)
+        if stored_offset != node_offset:
+            raise RTreeError(
+                f"node offset mismatch: page says {stored_offset}, "
+                f"asked for {node_offset}")
+        return PersistedNode(page_id, kind, level, node_offset, entries)
+
+    def read_root(self) -> PersistedNode:
+        if self.root_page is None:
+            raise RTreeError("tree has not been written")
+        return self.read_node(0)

@@ -1,0 +1,145 @@
+"""Node-splitting algorithms.
+
+The paper's tree builder "applies a linear node splitting algorithm [Ang &
+Tan, SSD'97] to minimize the overlap of the bounding boxes".  We implement
+both that algorithm and Guttman's classic linear split, selectable when
+constructing the tree so the ablation bench can compare them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import RTreeError
+from repro.geometry.aabb import union_aabbs
+from repro.rtree.entry import Entry
+
+SplitFn = Callable[[Sequence[Entry], int], Tuple[List[Entry], List[Entry]]]
+
+
+def _validate(entries: Sequence[Entry], min_fill: int) -> None:
+    if len(entries) < 2:
+        raise RTreeError(f"cannot split {len(entries)} entries")
+    if min_fill < 1 or 2 * min_fill > len(entries):
+        raise RTreeError(
+            f"min_fill {min_fill} infeasible for {len(entries)} entries")
+
+
+def _rebalance(group_a: List[Entry], group_b: List[Entry],
+               min_fill: int) -> Tuple[List[Entry], List[Entry]]:
+    """Move entries between groups until both meet ``min_fill``.
+
+    Moves the entry whose removal least grows the donor's MBR — the
+    standard fix-up, applied by both split algorithms.
+    """
+    while len(group_a) < min_fill or len(group_b) < min_fill:
+        donor, taker = ((group_b, group_a) if len(group_a) < min_fill
+                        else (group_a, group_b))
+        taker_mbr = union_aabbs(e.mbr for e in taker)
+        best_idx = min(range(len(donor)),
+                       key=lambda i: taker_mbr.enlargement(donor[i].mbr))
+        taker.append(donor.pop(best_idx))
+    return group_a, group_b
+
+
+def guttman_linear_split(entries: Sequence[Entry],
+                         min_fill: int) -> Tuple[List[Entry], List[Entry]]:
+    """Guttman's linear split: pick the pair of seeds with the greatest
+    normalized separation along any axis, then assign the rest greedily by
+    least enlargement."""
+    _validate(entries, min_fill)
+    los = np.array([e.mbr.lo for e in entries])
+    his = np.array([e.mbr.hi for e in entries])
+    n = len(entries)
+
+    best_axis, best_sep, seeds = 0, -np.inf, (0, 1)
+    for axis in range(3):
+        width = float(his[:, axis].max() - los[:, axis].min())
+        if width == 0.0:
+            continue
+        highest_lo = int(np.argmax(los[:, axis]))
+        lowest_hi = int(np.argmin(his[:, axis]))
+        if highest_lo == lowest_hi:
+            continue
+        sep = (los[highest_lo, axis] - his[lowest_hi, axis]) / width
+        if sep > best_sep:
+            best_sep = sep
+            best_axis = axis
+            seeds = (lowest_hi, highest_lo)
+    if seeds[0] == seeds[1]:
+        seeds = (0, 1)
+
+    group_a: List[Entry] = [entries[seeds[0]]]
+    group_b: List[Entry] = [entries[seeds[1]]]
+    mbr_a = entries[seeds[0]].mbr
+    mbr_b = entries[seeds[1]].mbr
+    for i in range(n):
+        if i in seeds:
+            continue
+        entry = entries[i]
+        grow_a = mbr_a.enlargement(entry.mbr)
+        grow_b = mbr_b.enlargement(entry.mbr)
+        if grow_a < grow_b or (grow_a == grow_b and len(group_a) <= len(group_b)):
+            group_a.append(entry)
+            mbr_a = mbr_a.union(entry.mbr)
+        else:
+            group_b.append(entry)
+            mbr_b = mbr_b.union(entry.mbr)
+    return _rebalance(group_a, group_b, min_fill)
+
+
+def ang_tan_linear_split(entries: Sequence[Entry],
+                         min_fill: int) -> Tuple[List[Entry], List[Entry]]:
+    """Ang & Tan (SSD'97) linear split.
+
+    For each axis, count entries closer to the low edge vs the high edge of
+    the covering box; choose the axis that balances the two lists best
+    (tie-break: smaller overlap of the resulting group MBRs), then split
+    along it.
+    """
+    _validate(entries, min_fill)
+    los = np.array([e.mbr.lo for e in entries])
+    his = np.array([e.mbr.hi for e in entries])
+    cover_lo = los.min(axis=0)
+    cover_hi = his.max(axis=0)
+
+    candidates = []
+    for axis in range(3):
+        near_lo = (los[:, axis] - cover_lo[axis]) <= (cover_hi[axis] - his[:, axis])
+        list_lo = [entries[i] for i in range(len(entries)) if near_lo[i]]
+        list_hi = [entries[i] for i in range(len(entries)) if not near_lo[i]]
+        if not list_lo or not list_hi:
+            continue
+        imbalance = abs(len(list_lo) - len(list_hi))
+        mbr_lo = union_aabbs(e.mbr for e in list_lo)
+        mbr_hi = union_aabbs(e.mbr for e in list_hi)
+        overlap_box = mbr_lo.intersection(mbr_hi)
+        overlap = overlap_box.volume if overlap_box is not None else 0.0
+        candidates.append((imbalance, overlap, axis, list_lo, list_hi))
+
+    if not candidates:
+        # All entries sit at identical positions along every axis;
+        # fall back to an arbitrary even split.
+        mid = len(entries) // 2
+        return _rebalance(list(entries[:mid]), list(entries[mid:]), min_fill)
+
+    candidates.sort(key=lambda c: (c[0], c[1]))
+    _, _, _, list_lo, list_hi = candidates[0]
+    return _rebalance(list(list_lo), list(list_hi), min_fill)
+
+
+SPLIT_ALGORITHMS = {
+    "guttman": guttman_linear_split,
+    "ang-tan": ang_tan_linear_split,
+}
+
+
+def get_split_algorithm(name: str) -> SplitFn:
+    try:
+        return SPLIT_ALGORITHMS[name]
+    except KeyError:
+        raise RTreeError(
+            f"unknown split algorithm {name!r}; "
+            f"choose from {sorted(SPLIT_ALGORITHMS)}") from None

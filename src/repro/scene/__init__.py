@@ -1,0 +1,13 @@
+"""Scene substrate: objects, the synthetic city generator, scaled datasets.
+
+The paper evaluates on "a synthetic city model containing numerous
+buildings and bunny models" with raw dataset sizes of 400 MB to 1.6 GB.
+This package generates the equivalent procedurally and deterministically.
+"""
+
+from repro.scene.objects import SceneObject, Scene
+from repro.scene.city import CityParams, generate_city
+from repro.scene.datasets import DatasetSpec, DATASET_SERIES, build_dataset
+
+__all__ = ["SceneObject", "Scene", "CityParams", "generate_city",
+           "DatasetSpec", "DATASET_SERIES", "build_dataset"]

@@ -1,0 +1,121 @@
+"""Scene and visibility statistics.
+
+Sanity-check tooling used by the experiment configs (and handy when
+designing new scenes): polygon and size distributions of a scene, and
+the per-cell DoV / visible-set distributions of a precomputed
+visibility table.  The experiment docs in EXPERIMENTS.md quote these
+numbers; this module is where they come from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import GeometryError
+from repro.scene.objects import Scene
+from repro.visibility.dov import VisibilityTable
+
+
+def _quantiles(values: Sequence[float],
+               points=(0.0, 0.25, 0.5, 0.75, 1.0)) -> List[float]:
+    """Simple nearest-rank quantiles of a non-empty sequence."""
+    ordered = sorted(values)
+    n = len(ordered)
+    out = []
+    for p in points:
+        index = min(int(p * (n - 1) + 0.5), n - 1)
+        out.append(float(ordered[index]))
+    return out
+
+
+@dataclass(frozen=True)
+class SceneStats:
+    """Aggregate statistics of one scene."""
+
+    num_objects: int
+    categories: Dict[str, int]
+    total_polygons: int
+    total_bytes: int
+    polygon_quantiles: List[float]
+    footprint_extent: List[float]
+
+    def format_report(self) -> str:
+        cats = ", ".join(f"{name}: {count}"
+                         for name, count in sorted(self.categories.items()))
+        q = self.polygon_quantiles
+        return "\n".join([
+            f"objects: {self.num_objects} ({cats})",
+            f"polygons: {self.total_polygons:,} total; per-object "
+            f"min/q1/median/q3/max = "
+            f"{q[0]:.0f}/{q[1]:.0f}/{q[2]:.0f}/{q[3]:.0f}/{q[4]:.0f}",
+            f"model data: {self.total_bytes / 2**20:.1f} MB",
+            f"footprint: {self.footprint_extent[0]:.0f} x "
+            f"{self.footprint_extent[1]:.0f} x "
+            f"{self.footprint_extent[2]:.0f} m",
+        ])
+
+
+def scene_stats(scene: Scene) -> SceneStats:
+    if len(scene) == 0:
+        raise GeometryError("empty scene has no statistics")
+    categories: Dict[str, int] = {}
+    polygons: List[float] = []
+    for obj in scene:
+        categories[obj.category] = categories.get(obj.category, 0) + 1
+        polygons.append(float(obj.num_polygons))
+    return SceneStats(
+        num_objects=len(scene),
+        categories=categories,
+        total_polygons=scene.total_polygons(),
+        total_bytes=scene.total_bytes(),
+        polygon_quantiles=_quantiles(polygons),
+        footprint_extent=[float(x) for x in scene.bounds().extent],
+    )
+
+
+@dataclass(frozen=True)
+class VisibilityStats:
+    """Aggregate statistics of a visibility table."""
+
+    num_cells: int
+    visible_quantiles: List[float]
+    dov_quantiles: List[float]
+    empty_cells: int
+    #: Fraction of (cell, object) pairs that are visible.
+    visibility_density: float
+
+    def format_report(self) -> str:
+        vq = self.visible_quantiles
+        dq = self.dov_quantiles
+        return "\n".join([
+            f"cells: {self.num_cells} ({self.empty_cells} empty)",
+            f"visible objects per cell min/q1/median/q3/max = "
+            f"{vq[0]:.0f}/{vq[1]:.0f}/{vq[2]:.0f}/{vq[3]:.0f}/{vq[4]:.0f}",
+            f"DoV values min/q1/median/q3/max = "
+            f"{dq[0]:.2g}/{dq[1]:.2g}/{dq[2]:.2g}/{dq[3]:.2g}/{dq[4]:.2g}",
+            f"visibility density: {self.visibility_density:.1%}",
+        ])
+
+
+def visibility_stats(table: VisibilityTable,
+                     num_objects: int) -> VisibilityStats:
+    if num_objects <= 0:
+        raise GeometryError(f"num_objects must be > 0: {num_objects}")
+    visible_counts: List[float] = []
+    dovs: List[float] = []
+    empty = 0
+    for cell in table.cells():
+        visible_counts.append(float(cell.num_visible))
+        if cell.num_visible == 0:
+            empty += 1
+        dovs.extend(cell.dov.values())
+    density = (sum(visible_counts)
+               / (table.num_cells * num_objects))
+    return VisibilityStats(
+        num_cells=table.num_cells,
+        visible_quantiles=_quantiles(visible_counts),
+        dov_quantiles=_quantiles(dovs) if dovs else [0.0] * 5,
+        empty_cells=empty,
+        visibility_density=density,
+    )

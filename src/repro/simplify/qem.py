@@ -1,0 +1,172 @@
+"""Quadric-error-metric mesh simplification (Garland & Heckbert, 1997).
+
+This is the library's faithful stand-in for the *qslim* tool the paper
+uses to generate LoDs.  Each vertex accumulates the fundamental quadrics
+of its incident planes; edges are contracted in order of minimum quadric
+error, with the contraction target placed at the quadric's minimiser when
+it is well-conditioned and at the best of {v1, v2, midpoint} otherwise.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from repro.errors import GeometryError
+from repro.geometry.mesh import TriangleMesh
+
+
+def _face_quadric(p0: np.ndarray, p1: np.ndarray, p2: np.ndarray) -> np.ndarray:
+    """Fundamental error quadric (4x4) of the plane through a triangle.
+
+    Weighted by triangle area so large faces dominate, which keeps the
+    simplified silhouette stable.
+    """
+    normal = np.cross(p1 - p0, p2 - p0)
+    area2 = np.linalg.norm(normal)
+    if area2 == 0.0:
+        return np.zeros((4, 4))
+    normal = normal / area2
+    d = -float(np.dot(normal, p0))
+    plane = np.append(normal, d)
+    return (area2 / 2.0) * np.outer(plane, plane)
+
+
+def _vertex_error(quadric: np.ndarray, pos: np.ndarray) -> float:
+    hom = np.append(pos, 1.0)
+    return float(hom @ quadric @ hom)
+
+
+def _optimal_position(quadric: np.ndarray, v1: np.ndarray,
+                      v2: np.ndarray) -> np.ndarray:
+    """Position minimising the contraction error."""
+    system = quadric.copy()
+    system[3, :] = (0.0, 0.0, 0.0, 1.0)
+    try:
+        if abs(np.linalg.det(system)) > 1e-10:
+            solution = np.linalg.solve(system, np.array([0.0, 0.0, 0.0, 1.0]))
+            return solution[:3]
+    except np.linalg.LinAlgError:
+        pass
+    candidates = [v1, v2, (v1 + v2) / 2.0]
+    errors = [_vertex_error(quadric, c) for c in candidates]
+    return candidates[int(np.argmin(errors))]
+
+
+def simplify_qem(mesh: TriangleMesh, target_faces: int) -> TriangleMesh:
+    """Simplify ``mesh`` down to at most ``target_faces`` triangles.
+
+    The result is compacted (no orphan vertices) and free of degenerate
+    faces.  If the mesh already satisfies the target it is returned
+    unchanged.
+    """
+    if target_faces < 1:
+        raise GeometryError(f"target_faces must be >= 1, got {target_faces}")
+    if mesh.num_faces <= target_faces:
+        return mesh
+
+    positions = [v.copy() for v in mesh.vertices]
+    faces: List[Tuple[int, int, int]] = [tuple(f) for f in mesh.faces]
+    alive_faces: Set[int] = set(range(len(faces)))
+    vertex_faces: Dict[int, Set[int]] = {i: set() for i in range(len(positions))}
+    for fi, (a, b, c) in enumerate(faces):
+        vertex_faces[a].add(fi)
+        vertex_faces[b].add(fi)
+        vertex_faces[c].add(fi)
+
+    quadrics = [np.zeros((4, 4)) for _ in positions]
+    for a, b, c in faces:
+        q = _face_quadric(positions[a], positions[b], positions[c])
+        quadrics[a] += q
+        quadrics[b] += q
+        quadrics[c] += q
+
+    # Union-find over vertices so stale heap entries can be detected.
+    parent = list(range(len(positions)))
+
+    def find(v: int) -> int:
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def edges_of(fi: int):
+        a, b, c = faces[fi]
+        yield (min(a, b), max(a, b))
+        yield (min(b, c), max(b, c))
+        yield (min(a, c), max(a, c))
+
+    def push_edge(heap: list, u: int, w: int, version: Dict[int, int]) -> None:
+        q = quadrics[u] + quadrics[w]
+        pos = _optimal_position(q, positions[u], positions[w])
+        err = _vertex_error(q, pos)
+        heapq.heappush(heap, (err, u, w, version[u], version[w],
+                              pos.tobytes()))
+
+    version: Dict[int, int] = {i: 0 for i in range(len(positions))}
+    heap: list = []
+    seen_edges: Set[Tuple[int, int]] = set()
+    for fi in alive_faces:
+        for edge in edges_of(fi):
+            if edge not in seen_edges:
+                seen_edges.add(edge)
+                push_edge(heap, edge[0], edge[1], version)
+
+    num_alive = len(alive_faces)
+    while num_alive > target_faces and heap:
+        err, u, w, vu, vw, pos_bytes = heapq.heappop(heap)
+        u, w = find(u), find(w)
+        if u == w or version[u] != vu or version[w] != vw:
+            continue
+        new_pos = np.frombuffer(pos_bytes, dtype=np.float64).copy()
+
+        # Contract w into u.
+        positions[u] = new_pos
+        quadrics[u] = quadrics[u] + quadrics[w]
+        parent[w] = u
+        version[u] += 1
+
+        # Update incident faces: drop those containing both endpoints.
+        moved = vertex_faces[w]
+        for fi in list(moved):
+            a, b, c = (find(x) for x in faces[fi])
+            if len({a, b, c}) < 3:
+                if fi in alive_faces:
+                    alive_faces.discard(fi)
+                    num_alive -= 1
+                for vert in {a, b, c}:
+                    vertex_faces[vert].discard(fi)
+            else:
+                vertex_faces[u].add(fi)
+        vertex_faces[w] = set()
+
+        # Re-queue the edges around the merged vertex.
+        neighbor_set: Set[int] = set()
+        for fi in vertex_faces[u]:
+            if fi not in alive_faces:
+                continue
+            for x in faces[fi]:
+                x = find(x)
+                if x != u:
+                    neighbor_set.add(x)
+        for x in neighbor_set:
+            push_edge(heap, u, x, version)
+
+    # Materialise the surviving faces with contracted indices.
+    final_faces = []
+    for fi in alive_faces:
+        a, b, c = (find(x) for x in faces[fi])
+        if len({a, b, c}) == 3:
+            final_faces.append((a, b, c))
+    if not final_faces:
+        # Everything collapsed — return a minimal proxy (one triangle of
+        # the original AABB's largest face) rather than an empty mesh.
+        box = mesh.aabb()
+        lo, hi = box.lo, box.hi
+        verts = np.array([lo, (hi[0], lo[1], lo[2]), (lo[0], hi[1], lo[2])])
+        return TriangleMesh(verts, np.array([[0, 1, 2]], dtype=np.int64))
+    result = TriangleMesh(np.array(positions), np.array(final_faces,
+                                                        dtype=np.int64))
+    return result.drop_degenerate_faces().compacted()

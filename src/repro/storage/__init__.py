@@ -1,0 +1,14 @@
+"""Storage substrate: paged files, buffer pool, disk timing model.
+
+This package replaces the raw-disk substrate of the paper's prototype.
+Every page access is counted and charged against a deterministic
+:class:`~repro.storage.disk.DiskModel`, which is how the library produces
+reproducible "time" numbers on any machine.
+"""
+
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.storage.buffer import BufferPool
+from repro.storage.objectstore import ObjectStore
+
+__all__ = ["DiskModel", "IOStats", "PagedFile", "BufferPool", "ObjectStore"]

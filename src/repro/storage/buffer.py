@@ -1,0 +1,131 @@
+"""LRU buffer pool over a :class:`~repro.storage.pagedfile.PagedFile`.
+
+The walkthrough systems cache tree nodes and V-pages; the buffer pool
+makes cache hits free and tracks hit/miss counts.  Pages can be pinned to
+protect them from eviction while a traversal holds references.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.errors import BufferPoolError
+from repro.storage.pagedfile import PagedFile
+
+
+@dataclass
+class _Frame:
+    data: bytes
+    pin_count: int = 0
+    dirty: bool = False
+
+
+class BufferPool:
+    """Fixed-capacity page cache with LRU replacement.
+
+    Keys are ``(file, page_id)`` pairs, so one pool can front several
+    files (tree file, V-page file, object store) with a single memory
+    budget — mirroring how the prototype shares one cache.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._frames: "OrderedDict[Tuple[int, int], _Frame]" = OrderedDict()
+        self._files: Dict[int, PagedFile] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- internals ------------------------------------------------------------
+
+    def _key(self, pfile: PagedFile, page_id: int) -> Tuple[int, int]:
+        fid = id(pfile)
+        self._files[fid] = pfile
+        return (fid, page_id)
+
+    def _evict_one(self) -> None:
+        for key, frame in self._frames.items():
+            if frame.pin_count == 0:
+                if frame.dirty:
+                    fid, page_id = key
+                    self._files[fid].write_page(page_id, frame.data)
+                del self._frames[key]
+                self.evictions += 1
+                return
+        raise BufferPoolError("all frames are pinned; cannot evict")
+
+    # -- public API -------------------------------------------------------------
+
+    def get(self, pfile: PagedFile, page_id: int, *, pin: bool = False) -> bytes:
+        """Return page contents, reading through the file on a miss."""
+        key = self._key(pfile, page_id)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(key)
+        else:
+            self.misses += 1
+            if len(self._frames) >= self.capacity:
+                self._evict_one()
+            frame = _Frame(pfile.read_page(page_id))
+            self._frames[key] = frame
+        if pin:
+            frame.pin_count += 1
+        return frame.data
+
+    def put(self, pfile: PagedFile, page_id: int, data: bytes) -> None:
+        """Install new page contents; written back on eviction or flush."""
+        if len(data) > pfile.page_size:
+            raise BufferPoolError("payload exceeds page size")
+        key = self._key(pfile, page_id)
+        frame = self._frames.get(key)
+        if frame is None:
+            if len(self._frames) >= self.capacity:
+                self._evict_one()
+            frame = _Frame(data=b"")
+            self._frames[key] = frame
+        frame.data = bytes(data)
+        frame.dirty = True
+        self._frames.move_to_end(key)
+
+    def unpin(self, pfile: PagedFile, page_id: int) -> None:
+        key = (id(pfile), page_id)
+        frame = self._frames.get(key)
+        if frame is None or frame.pin_count == 0:
+            raise BufferPoolError(f"unpin of unpinned page {page_id}")
+        frame.pin_count -= 1
+
+    def contains(self, pfile: PagedFile, page_id: int) -> bool:
+        return (id(pfile), page_id) in self._frames
+
+    def flush(self) -> None:
+        """Write back every dirty frame (keeps frames resident)."""
+        for (fid, page_id), frame in self._frames.items():
+            if frame.dirty:
+                self._files[fid].write_page(page_id, frame.data)
+                frame.dirty = False
+
+    def clear(self) -> None:
+        """Flush and drop all frames.  Fails if any page is pinned."""
+        if any(f.pin_count for f in self._frames.values()):
+            raise BufferPoolError("cannot clear: pinned pages present")
+        self.flush()
+        self._frames.clear()
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"BufferPool(capacity={self.capacity}, "
+                f"resident={self.resident_pages}, hits={self.hits}, "
+                f"misses={self.misses})")

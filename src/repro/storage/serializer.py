@@ -1,0 +1,146 @@
+"""Struct-based record serialization for pages.
+
+All on-page records in this library go through these helpers so the byte
+layouts live in one place: R-tree nodes, V-pages, V-page-index segments,
+and object-store headers.  Layouts use little-endian fixed-width fields.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SerializationError
+from repro.geometry.aabb import AABB
+
+#: MBR: 6 float32 (lo.xyz, hi.xyz)
+_MBR = struct.Struct("<6f")
+#: Node header: kind (u8), entry count (u16), level (u8), vindex offset (u32)
+_NODE_HEADER = struct.Struct("<BHBI")
+#: Node entry: MBR + child/object id (u32) + lod pointer (u32)
+_NODE_ENTRY = struct.Struct("<6fII")
+#: V-entry: DoV (f32) + NVO (u32)  — Section 3.3's VD = (DoV, NVO)
+_VENTRY = struct.Struct("<fI")
+#: V-page header: node offset (u32) + entry count (u16) + pad (u16)
+_VPAGE_HEADER = struct.Struct("<IHH")
+#: Index pair: node offset (u32) + V-page pointer (u32)
+_INDEX_PAIR = struct.Struct("<II")
+
+NODE_HEADER_SIZE = _NODE_HEADER.size
+NODE_ENTRY_SIZE = _NODE_ENTRY.size
+VENTRY_SIZE = _VENTRY.size
+VPAGE_HEADER_SIZE = _VPAGE_HEADER.size
+INDEX_PAIR_SIZE = _INDEX_PAIR.size
+
+#: Sentinel for "no pointer" in u32 pointer fields.
+NIL = 0xFFFFFFFF
+
+
+def encode_mbr(box: AABB) -> bytes:
+    return _MBR.pack(*box.lo.astype(np.float32), *box.hi.astype(np.float32))
+
+
+def decode_mbr(data: bytes, offset: int = 0) -> AABB:
+    values = _MBR.unpack_from(data, offset)
+    return AABB(np.array(values[0:3], dtype=np.float64),
+                np.array(values[3:6], dtype=np.float64))
+
+
+def encode_node(kind: int, level: int, vindex_offset: int,
+                entries: Sequence[Tuple[AABB, int, int]],
+                page_size: int) -> bytes:
+    """Serialize an R-tree/HDoV node.
+
+    ``entries`` are ``(mbr, child_or_object_id, lod_pointer)`` triples.
+    Raises :class:`SerializationError` if the node does not fit the page.
+    """
+    needed = NODE_HEADER_SIZE + len(entries) * NODE_ENTRY_SIZE
+    if needed > page_size:
+        raise SerializationError(
+            f"node with {len(entries)} entries needs {needed} bytes, "
+            f"page is {page_size}")
+    parts = [_NODE_HEADER.pack(kind, len(entries), level, vindex_offset)]
+    for mbr, child_id, lod_ptr in entries:
+        parts.append(_NODE_ENTRY.pack(
+            *mbr.lo.astype(np.float32), *mbr.hi.astype(np.float32),
+            child_id, lod_ptr))
+    return b"".join(parts)
+
+
+def decode_node(data: bytes) -> Tuple[int, int, int, List[Tuple[AABB, int, int]]]:
+    """Inverse of :func:`encode_node`; returns
+    ``(kind, level, vindex_offset, entries)``."""
+    if len(data) < NODE_HEADER_SIZE:
+        raise SerializationError("page too small for a node header")
+    kind, count, level, vindex_offset = _NODE_HEADER.unpack_from(data, 0)
+    entries: List[Tuple[AABB, int, int]] = []
+    offset = NODE_HEADER_SIZE
+    for _ in range(count):
+        if offset + NODE_ENTRY_SIZE > len(data):
+            raise SerializationError("truncated node entry")
+        values = _NODE_ENTRY.unpack_from(data, offset)
+        mbr = AABB(np.array(values[0:3], dtype=np.float64),
+                   np.array(values[3:6], dtype=np.float64))
+        entries.append((mbr, values[6], values[7]))
+        offset += NODE_ENTRY_SIZE
+    return kind, level, vindex_offset, entries
+
+
+def encode_vpage(node_offset: int, ventries: Sequence[Tuple[float, int]],
+                 page_size: int) -> bytes:
+    """Serialize a V-page: header plus ``(DoV, NVO)`` per tree-node entry."""
+    needed = VPAGE_HEADER_SIZE + len(ventries) * VENTRY_SIZE
+    if needed > page_size:
+        raise SerializationError(
+            f"V-page with {len(ventries)} entries needs {needed} bytes, "
+            f"page is {page_size}")
+    parts = [_VPAGE_HEADER.pack(node_offset, len(ventries), 0)]
+    for dov, nvo in ventries:
+        if not 0.0 <= dov <= 1.0:
+            raise SerializationError(f"DoV out of [0, 1]: {dov}")
+        if nvo < 0:
+            raise SerializationError(f"negative NVO: {nvo}")
+        parts.append(_VENTRY.pack(dov, nvo))
+    return b"".join(parts)
+
+
+def decode_vpage(data: bytes) -> Tuple[int, List[Tuple[float, int]]]:
+    """Inverse of :func:`encode_vpage`; returns ``(node_offset, ventries)``."""
+    if len(data) < VPAGE_HEADER_SIZE:
+        raise SerializationError("page too small for a V-page header")
+    node_offset, count, _pad = _VPAGE_HEADER.unpack_from(data, 0)
+    ventries: List[Tuple[float, int]] = []
+    offset = VPAGE_HEADER_SIZE
+    for _ in range(count):
+        if offset + VENTRY_SIZE > len(data):
+            raise SerializationError("truncated V-entry")
+        dov, nvo = _VENTRY.unpack_from(data, offset)
+        ventries.append((dov, nvo))
+        offset += VENTRY_SIZE
+    return node_offset, ventries
+
+
+def encode_index_pairs(pairs: Sequence[Tuple[int, int]]) -> bytes:
+    """Serialize (node offset, V-page pointer) pairs for the
+    indexed-vertical scheme's per-cell segment."""
+    return b"".join(_INDEX_PAIR.pack(off, ptr) for off, ptr in pairs)
+
+
+def decode_index_pairs(data: bytes, count: int) -> List[Tuple[int, int]]:
+    if count * INDEX_PAIR_SIZE > len(data):
+        raise SerializationError("truncated index-pair segment")
+    return [_INDEX_PAIR.unpack_from(data, i * INDEX_PAIR_SIZE)
+            for i in range(count)]
+
+
+def encode_pointer_array(pointers: Sequence[int]) -> bytes:
+    """Serialize a dense u32 pointer array (vertical scheme segment)."""
+    return struct.pack(f"<{len(pointers)}I", *pointers)
+
+
+def decode_pointer_array(data: bytes, count: int) -> List[int]:
+    if count * 4 > len(data):
+        raise SerializationError("truncated pointer array")
+    return list(struct.unpack_from(f"<{count}I", data, 0))

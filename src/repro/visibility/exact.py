@@ -1,0 +1,82 @@
+"""Mesh-accurate DoV estimation (validation path).
+
+The production estimator (:mod:`repro.visibility.raycast`) intersects
+rays with object *AABBs* — the item-buffer substitution documented in
+DESIGN.md.  This module provides the slow, mesh-accurate reference: the
+same cube-map ray grid intersected with every object's actual triangles
+(Möller–Trumbore).  It exists to *validate* the substitution — tests
+compare the two on scenes where the difference is predictable (boxes:
+identical; round objects: the box estimate is conservative).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import VisibilityError
+from repro.geometry.mesh import TriangleMesh
+from repro.geometry.rays import (NO_HIT, cube_map_solid_angles,
+                                 rays_vs_triangles, sphere_direction_grid)
+from repro.geometry.solidangle import FULL_SPHERE
+
+
+class MeshDoVEstimator:
+    """Exact (triangle-level) DoV estimation over full meshes.
+
+    O(rays x total triangles) — use for validation and small scenes
+    only; the AABB estimator is the production path.
+    """
+
+    def __init__(self, meshes: Sequence[TriangleMesh],
+                 object_ids: Optional[Sequence[int]] = None,
+                 resolution: int = 16) -> None:
+        if not meshes:
+            raise VisibilityError("need at least one mesh")
+        if object_ids is None:
+            object_ids = list(range(len(meshes)))
+        if len(object_ids) != len(meshes):
+            raise VisibilityError("object_ids length mismatch")
+        self.object_ids = list(object_ids)
+        self.resolution = resolution
+        self.directions = sphere_direction_grid(resolution)
+        self.solid_angles = cube_map_solid_angles(resolution)
+        # Pack all triangles with an owner row per triangle.
+        packed: List[np.ndarray] = []
+        owners: List[int] = []
+        for row, mesh in enumerate(meshes):
+            if mesh.num_faces == 0:
+                continue
+            packed.append(mesh.vertices[mesh.faces])
+            owners.extend([row] * mesh.num_faces)
+        if not packed:
+            raise VisibilityError("all meshes are empty")
+        self.triangles = np.concatenate(packed, axis=0)
+        self.owners = np.asarray(owners, dtype=np.int64)
+
+    def dov_from_viewpoint(self, viewpoint, chunk: int = 512
+                           ) -> Dict[int, float]:
+        """Per-object DoV with exact triangle occlusion."""
+        viewpoint = np.asarray(viewpoint, dtype=np.float64)
+        num_rays = len(self.directions)
+        owner_rows = np.full(num_rays, -1, dtype=np.int64)
+        for start in range(0, num_rays, chunk):
+            stop = min(start + chunk, num_rays)
+            t = rays_vs_triangles(viewpoint, self.directions[start:stop],
+                                  self.triangles)
+            best = np.argmin(t, axis=1)
+            best_t = t[np.arange(stop - start), best]
+            hit = best_t < NO_HIT
+            owner_rows[start:stop] = np.where(hit, self.owners[best], -1)
+        result: Dict[int, float] = {}
+        hit_mask = owner_rows >= 0
+        if not hit_mask.any():
+            return result
+        sums = np.bincount(owner_rows[hit_mask],
+                           weights=self.solid_angles[hit_mask],
+                           minlength=len(self.object_ids))
+        for row in np.nonzero(sums)[0]:
+            result[self.object_ids[row]] = float(
+                min(sums[row] / FULL_SPHERE, 1.0))
+        return result

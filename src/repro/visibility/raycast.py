@@ -1,0 +1,146 @@
+"""Ray-cast DoV estimator.
+
+The software equivalent of the paper's hardware-accelerated DoV
+computation: an item-buffer rendering over the whole sphere of directions.
+For a viewpoint, we cast one ray per cube-map texel against every object
+AABB; the nearest hit "owns" the texel, and an object's DoV is the sum of
+its texels' solid angles divided by ``4 * pi``.  Occlusion is therefore
+handled exactly as in an item buffer: an object hidden behind a nearer
+box receives no texels and gets DoV 0.
+
+Using AABBs rather than triangle meshes as occluders is the conservative
+choice for the *occludee* (an object's box is at least as big as the
+object) and slightly aggressive for the *occluder*; for the paper's city
+scenes — buildings are boxes — it is near-exact, and the estimator is
+validated against analytic solid angles in the tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import VisibilityError
+from repro.geometry.rays import cube_map_solid_angles, sphere_direction_grid
+from repro.geometry.solidangle import FULL_SPHERE
+
+
+class RayCastDoVEstimator:
+    """Estimates per-object DoV values from viewpoints.
+
+    Parameters
+    ----------
+    boxes:
+        Packed object AABBs, shape ``(n, 6)``, in object-id order — entry
+        ``i`` must be the box of the object whose id is ``object_ids[i]``.
+    object_ids:
+        Object id of each box row.  Defaults to ``0..n-1``.
+    resolution:
+        Cube-map face resolution; rays = ``6 * resolution**2``.  16 gives
+        ~1500 rays (DoV quantum ~6.5e-4, adequate for eta >= 1e-3); 32
+        gives ~6100 rays (quantum ~1.6e-4) and is the default used by the
+        experiments, which sweep eta down to 5e-5 — values below the
+        quantum read as "at most one texel", which is exactly the
+        barely-visible regime the threshold is meant to prune.
+    """
+
+    def __init__(self, boxes: np.ndarray,
+                 object_ids: Optional[Sequence[int]] = None,
+                 resolution: int = 32) -> None:
+        boxes = np.asarray(boxes, dtype=np.float64)
+        if boxes.ndim != 2 or boxes.shape[1] != 6:
+            raise VisibilityError(f"boxes must be (n, 6), got {boxes.shape}")
+        self.boxes = boxes
+        if object_ids is None:
+            object_ids = list(range(len(boxes)))
+        if len(object_ids) != len(boxes):
+            raise VisibilityError("object_ids length mismatch")
+        self.object_ids = np.asarray(object_ids, dtype=np.int64)
+        self.resolution = resolution
+        self.directions = sphere_direction_grid(resolution)
+        self.solid_angles = cube_map_solid_angles(resolution)
+        #: Smallest non-zero DoV the estimator can report.
+        self.dov_quantum = float(self.solid_angles.min() / FULL_SPHERE)
+        # Hot-path layout: rays grouped by direction-sign octant so the
+        # slab kernel can pick each box's near/far bound per axis once
+        # instead of per (ray, box) element; float32 halves memory traffic.
+        self._lo32 = self.boxes[:, 0:3].astype(np.float32)
+        self._hi32 = self.boxes[:, 3:6].astype(np.float32)
+        self._octants = self._group_by_octant(self.directions)
+
+    @staticmethod
+    def _group_by_octant(directions: np.ndarray
+                         ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Partition rays into (index array, direction array) per sign
+        octant.  Cube-map directions never have a zero component."""
+        signs = directions > 0.0
+        codes = signs[:, 0] * 4 + signs[:, 1] * 2 + signs[:, 2]
+        groups = []
+        for code in range(8):
+            idx = np.nonzero(codes == code)[0]
+            if len(idx):
+                groups.append((idx, directions[idx].astype(np.float32)))
+        return groups
+
+    @property
+    def num_rays(self) -> int:
+        return len(self.directions)
+
+    def _nearest_ids(self, viewpoint: np.ndarray) -> np.ndarray:
+        """Per-ray nearest box row (-1 for a miss), octant-grouped kernel."""
+        origin = viewpoint.astype(np.float32)
+        out = np.full(self.num_rays, -1, dtype=np.int64)
+        for idx, dirs in self._octants:
+            positive = dirs[0] > 0.0                       # octant signs
+            near = np.where(positive, self._lo32, self._hi32)   # (b, 3)
+            far = np.where(positive, self._hi32, self._lo32)
+            inv = np.float32(1.0) / dirs                   # (r, 3)
+            tmin = np.multiply.outer(inv[:, 0], near[:, 0] - origin[0])
+            tmax = np.multiply.outer(inv[:, 0], far[:, 0] - origin[0])
+            for axis in (1, 2):
+                t1 = np.multiply.outer(inv[:, axis],
+                                       near[:, axis] - origin[axis])
+                t2 = np.multiply.outer(inv[:, axis],
+                                       far[:, axis] - origin[axis])
+                np.maximum(tmin, t1, out=tmin)
+                np.minimum(tmax, t2, out=tmax)
+            # Entry distance; rays starting inside a box hit at t = 0.
+            np.maximum(tmin, np.float32(0.0), out=tmin)
+            hit = tmax >= tmin
+            tmin[~hit] = np.inf
+            best = np.argmin(tmin, axis=1)
+            best_t = tmin[np.arange(len(dirs)), best]
+            out[idx] = np.where(np.isfinite(best_t), best, -1)
+        return out
+
+    def dov_from_viewpoint(self, viewpoint) -> Dict[int, float]:
+        """Point DoV (eq. 1's visible part, projected): object id -> DoV.
+
+        Objects with no owned texel are absent (DoV 0).
+        """
+        viewpoint = np.asarray(viewpoint, dtype=np.float64)
+        ids = self._nearest_ids(viewpoint)
+        result: Dict[int, float] = {}
+        hit_mask = ids >= 0
+        if not hit_mask.any():
+            return result
+        hit_rows = ids[hit_mask]
+        omegas = self.solid_angles[hit_mask]
+        sums = np.bincount(hit_rows, weights=omegas, minlength=len(self.boxes))
+        for row in np.nonzero(sums)[0]:
+            oid = int(self.object_ids[row])
+            result[oid] = float(min(sums[row] / FULL_SPHERE, 1.0))
+        return result
+
+    def dov_from_region(self, viewpoints: Sequence) -> Dict[int, float]:
+        """Conservative region DoV (eq. 2): per-object max over samples."""
+        if not len(viewpoints):
+            raise VisibilityError("need at least one sample viewpoint")
+        merged: Dict[int, float] = {}
+        for viewpoint in viewpoints:
+            point_dov = self.dov_from_viewpoint(viewpoint)
+            for oid, value in point_dov.items():
+                if value > merged.get(oid, 0.0):
+                    merged[oid] = value
+        return merged

@@ -1,0 +1,12 @@
+"""Walkthrough layer: sessions, the VISUAL system, frame-time model,
+metrics, and memory accounting."""
+
+from repro.walkthrough.session import Session, Waypoint, make_session
+from repro.walkthrough.frame import FrameModel, FrameRecord
+from repro.walkthrough.visual import VisualSystem, ReviewWalkthrough
+from repro.walkthrough.metrics import (FidelityMetric, frame_time_stats,
+                                       FrameTimeStats)
+
+__all__ = ["Session", "Waypoint", "make_session", "FrameModel",
+           "FrameRecord", "VisualSystem", "ReviewWalkthrough",
+           "FidelityMetric", "frame_time_stats", "FrameTimeStats"]

@@ -1,0 +1,41 @@
+"""Memory accounting for walkthrough sessions.
+
+Section 5.4 of the paper compares peak memory: "the maximum memory used
+by the VISUAL system is 28MB, while the REVIEW system with a query box
+size of 400 meters requires 62MB."  We reproduce the comparison from the
+per-frame ``resident_bytes`` series: model data held by the delta/cache
+layers plus the scheme's resident per-cell structures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import WalkthroughError
+from repro.walkthrough.frame import FrameRecord
+
+
+@dataclass(frozen=True)
+class MemoryReport:
+    """Peak and mean resident memory of one walkthrough replay."""
+
+    system: str
+    peak_bytes: int
+    mean_bytes: float
+
+    @property
+    def peak_mb(self) -> float:
+        return self.peak_bytes / (1024.0 * 1024.0)
+
+    @property
+    def mean_mb(self) -> float:
+        return self.mean_bytes / (1024.0 * 1024.0)
+
+
+def memory_report(system: str, frames: List[FrameRecord]) -> MemoryReport:
+    if not frames:
+        raise WalkthroughError("no frames to account")
+    peak = max(f.resident_bytes for f in frames)
+    mean = sum(f.resident_bytes for f in frames) / len(frames)
+    return MemoryReport(system=system, peak_bytes=peak, mean_bytes=mean)

@@ -1,0 +1,136 @@
+"""Walkthrough metrics: frame-time statistics and visual fidelity.
+
+Frame-time statistics reproduce Table 3's columns (average frame time and
+variance of frame time).
+
+The fidelity metric quantifies Figure 11's screenshots.  Ground truth for
+a cell is its full set of visible objects with DoV weights; the *required*
+detail of a visible object is the eq.-6 LoD — the representation the
+paper itself treats as visually sufficient (it is what both the naive
+method and the HDoV-tree at ``eta = 0``, whose fidelity the paper calls
+"very good", render).  A frame's fidelity is then
+
+  fidelity = sum_i dov_i * detail_i / sum_i dov_i
+
+with ``detail_i = min(rendered_polygons_i / required_polygons_i, 1)``,
+and 0 for a visible object the system missed entirely (REVIEW's
+out-of-box losses).  Objects covered by an internal LoD split the
+internal LoD's polygons against the sum of their required polygons.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.core.search import SearchResult
+from repro.errors import WalkthroughError
+from repro.lod.selection import leaf_lod_fraction
+
+
+@dataclass(frozen=True)
+class FrameTimeStats:
+    """Average and variance of a frame-time series (Table 3's columns)."""
+
+    mean_ms: float
+    variance: float
+    maximum_ms: float
+    num_frames: int
+
+    @property
+    def std_dev(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def frame_time_stats(frame_times_ms: Sequence[float]) -> FrameTimeStats:
+    """Population statistics of a frame-time series."""
+    times = list(frame_times_ms)
+    if not times:
+        raise WalkthroughError("no frames to summarise")
+    mean = sum(times) / len(times)
+    variance = sum((t - mean) ** 2 for t in times) / len(times)
+    return FrameTimeStats(mean_ms=mean, variance=variance,
+                          maximum_ms=max(times), num_frames=len(times))
+
+
+class FidelityMetric:
+    """Fidelity of rendered frames against the per-cell ground truth."""
+
+    def __init__(self, env: HDoVEnvironment) -> None:
+        self.env = env
+
+    # -- ground truth -----------------------------------------------------
+
+    def ground_truth(self, cell_id: int) -> Dict[int, float]:
+        """Visible objects and their DoVs in a cell."""
+        return dict(self.env.visibility.cell(cell_id).dov)
+
+    def required_polygons(self, object_id: int, dov: float) -> int:
+        """The eq.-6 polygon budget that counts as full detail."""
+        chain = self.env.objects[object_id].chain
+        return max(chain.interpolated_polygons(leaf_lod_fraction(dov)), 1)
+
+    # -- scoring -----------------------------------------------------------
+
+    def score_hdov(self, result: SearchResult) -> float:
+        """Fidelity of an HDoV search result.
+
+        Directly retrieved objects are rendered at exactly the required
+        eq.-6 LoD, so they score 1; internal LoDs score the ratio of
+        their polygons to the covered objects' summed requirement.
+        """
+        truth = self.ground_truth(result.cell_id)
+        if not truth:
+            return 1.0
+        rendered: Dict[int, int] = {o.object_id: o.polygons
+                                    for o in result.objects}
+        detail: Dict[int, float] = {}
+        for oid, polygons in rendered.items():
+            dov = truth.get(oid, 0.0)
+            required = self.required_polygons(oid, dov)
+            detail[oid] = min(polygons / required, 1.0)
+        for internal in result.internals:
+            covered = [oid for oid in internal.covered_objects if oid in truth]
+            required = sum(self.required_polygons(oid, truth[oid])
+                           for oid in covered)
+            frac = min(internal.polygons / required, 1.0) if required else 1.0
+            for oid in covered:
+                detail[oid] = max(detail.get(oid, 0.0), frac)
+        return self._weighted(truth, detail)
+
+    def score_rendered(self, cell_id: int,
+                       rendered_polygons: Dict[int, int]) -> float:
+        """Fidelity of an arbitrary rendered set.
+
+        ``rendered_polygons`` maps object id -> polygons actually
+        rendered.  Visible objects absent from the mapping score zero —
+        the missed-object penalty of Figure 11.
+        """
+        truth = self.ground_truth(cell_id)
+        if not truth:
+            return 1.0
+        detail = {
+            oid: min(polys / self.required_polygons(oid, truth[oid]), 1.0)
+            for oid, polys in rendered_polygons.items() if oid in truth
+        }
+        return self._weighted(truth, detail)
+
+    def missed_objects(self, cell_id: int,
+                       rendered_ids: Iterable[int]) -> List[int]:
+        """Visible objects not presented at all (Figure 11's lost
+        far-away models)."""
+        truth = self.ground_truth(cell_id)
+        rendered = set(rendered_ids)
+        return sorted(oid for oid in truth if oid not in rendered)
+
+    @staticmethod
+    def _weighted(truth: Dict[int, float],
+                  detail: Dict[int, float]) -> float:
+        total = sum(truth.values())
+        if total == 0.0:
+            return 1.0
+        achieved = sum(dov * min(max(detail.get(oid, 0.0), 0.0), 1.0)
+                       for oid, dov in truth.items())
+        return achieved / total

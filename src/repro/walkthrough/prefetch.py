@@ -1,0 +1,97 @@
+"""Neighbor-cell prefetching.
+
+REVIEW's paper [12] lists prefetching among its optimizations; for the
+HDoV-tree the natural unit to prefetch is the *next cell's* V-page-index
+segment: when the viewer heads toward a cell boundary, the segment flip
+that would stall the crossing frame is paid early, on a quiet frame.
+
+The storage schemes support this directly
+(:meth:`~repro.core.schemes.base.StorageScheme.prefetch_cell` reads the
+segment into a warm side buffer; the eventual
+:meth:`~repro.core.schemes.base.StorageScheme.flip_to_cell` installs it
+for free).  :class:`CellPrefetcher` adds the motion prediction: a
+one-step velocity estimate extrapolated toward the next cell.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.core.schemes.base import StorageScheme
+from repro.errors import WalkthroughError
+
+
+class CellPrefetcher:
+    """Predictive prefetch of per-cell visibility structures.
+
+    Parameters
+    ----------
+    env:
+        The built environment (provides the grid).
+    scheme:
+        The storage scheme whose flips should be warmed.
+    trigger_fraction:
+        Lookahead distance as a fraction of the cell size: the predicted
+        position one trigger-fraction-cell ahead decides which neighbor
+        to warm.
+    """
+
+    def __init__(self, env: HDoVEnvironment, scheme: StorageScheme, *,
+                 trigger_fraction: float = 0.5) -> None:
+        if not 0.0 < trigger_fraction <= 2.0:
+            raise WalkthroughError(
+                f"trigger_fraction must be in (0, 2], got {trigger_fraction}")
+        self.env = env
+        self.scheme = scheme
+        self.trigger_fraction = trigger_fraction
+        self._last_position: Optional[np.ndarray] = None
+        self.prefetches = 0
+
+    def predict_next_cell(self, position: np.ndarray) -> Optional[int]:
+        """The neighboring cell the viewer is heading into, or ``None``.
+
+        Uses the last observed position as a one-step velocity estimate
+        and extrapolates by ``trigger_fraction`` cell sizes.
+        """
+        grid = self.env.grid
+        current = grid.cell_of_point(position)
+        if self._last_position is None:
+            return None
+        velocity = position - self._last_position
+        speed = float(np.linalg.norm(velocity[:2]))
+        if speed == 0.0:
+            return None
+        lookahead = position + velocity / speed * (
+            grid.cell_size * self.trigger_fraction)
+        predicted = grid.cell_of_point(lookahead)
+        if predicted == current:
+            return None
+        return predicted
+
+    def observe(self, position) -> Optional[int]:
+        """Per-frame hook, called *before* the query: maybe prefetch.
+
+        Prefetch I/O is charged normally — it is real work; the benefit
+        is that it lands on a quiet frame instead of the crossing frame.
+        Returns the prefetched cell id, or ``None``.
+        """
+        position = np.asarray(position, dtype=np.float64)
+        target = self.predict_next_cell(position)
+        self._last_position = position.copy()
+        if target is None:
+            return None
+        self.scheme.prefetch_cell(target)
+        self.prefetches += 1
+        return target
+
+    @property
+    def hits(self) -> int:
+        """Flips that were served from the warm buffer."""
+        return self.scheme.prefetched_flips
+
+    def __repr__(self) -> str:
+        return (f"CellPrefetcher(prefetches={self.prefetches}, "
+                f"hits={self.hits})")

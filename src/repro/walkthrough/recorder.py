@@ -1,0 +1,75 @@
+"""Recording and replaying walkthrough sessions.
+
+The paper's methodology: "We recorded a few walkthrough sessions and
+played them back on the interactive walkthrough application.  Each
+session is played back on both the VISUAL system and the REVIEW
+system."  This module gives sessions a durable form: a small JSON file
+(positions + view directions per frame) that replays bit-identically,
+so a comparison is guaranteed to run both systems over the *same*
+frames even across processes and machines.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List
+
+from repro.errors import WalkthroughError
+from repro.walkthrough.session import Session, Waypoint
+
+#: Format version written into the file, checked on load.
+FORMAT_VERSION = 1
+
+
+def session_to_dict(session: Session) -> dict:
+    """JSON-serializable form of a session."""
+    return {
+        "version": FORMAT_VERSION,
+        "name": session.name,
+        "frames": [
+            {"position": list(wp.position),
+             "direction": list(wp.direction)}
+            for wp in session.waypoints
+        ],
+    }
+
+
+def session_from_dict(data: dict) -> Session:
+    """Inverse of :func:`session_to_dict`."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise WalkthroughError(
+            f"unsupported session format version {version!r}")
+    name = data.get("name")
+    if not isinstance(name, str) or not name:
+        raise WalkthroughError("session file has no name")
+    frames = data.get("frames")
+    if not isinstance(frames, list) or not frames:
+        raise WalkthroughError("session file has no frames")
+    waypoints: List[Waypoint] = []
+    for i, frame in enumerate(frames):
+        try:
+            position = tuple(float(x) for x in frame["position"])
+            direction = tuple(float(x) for x in frame["direction"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise WalkthroughError(f"bad frame {i}: {exc}") from exc
+        if len(position) != 3 or len(direction) != 3:
+            raise WalkthroughError(f"bad frame {i}: wrong arity")
+        waypoints.append(Waypoint(position, direction))
+    return Session(name, tuple(waypoints))
+
+
+def save_session(session: Session, path: str) -> None:
+    """Write a session to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(session_to_dict(session), handle, indent=1)
+
+
+def load_session(path: str) -> Session:
+    """Read a session written by :func:`save_session`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise WalkthroughError(f"corrupt session file: {exc}") from exc
+    return session_from_dict(data)

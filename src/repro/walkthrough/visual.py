@@ -1,0 +1,198 @@
+"""Walkthrough drivers: the VISUAL system and the REVIEW wrapper.
+
+Both replay a recorded :class:`~repro.walkthrough.session.Session` frame
+by frame, charging database work to the shared simulated disk and
+producing :class:`~repro.walkthrough.frame.FrameRecord` series that the
+Figure 10/12 and Table 3 experiments summarise.
+
+Query cadence matters for the frame-time *shape*:
+
+* VISUAL's visibility data is per cell, so the answer set only changes
+  when the viewpoint crosses a cell boundary; frames inside a cell reuse
+  the previous result (temporal coherence) and pay rendering only.  Cell
+  crossings pay the flip, the traversal, and the delta fetches — small,
+  frequent spikes.
+* REVIEW oversizes its query box relative to the frustum and re-queries
+  only when the viewpoint drifts past a slack distance — rare, tall
+  spikes (the "choppiness" of Figure 10(a)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.delta import DeltaSearch
+from repro.core.hdov_tree import HDoVEnvironment
+from repro.core.search import HDoVSearch, SearchResult
+from repro.baselines.review import ReviewSystem
+from repro.errors import WalkthroughError
+from repro.walkthrough.frame import FrameModel, FrameRecord
+from repro.walkthrough.metrics import FidelityMetric
+from repro.walkthrough.session import Session
+
+
+@dataclass
+class WalkthroughReport:
+    """All frames of one replay plus identity metadata."""
+
+    system: str
+    session: str
+    frames: List[FrameRecord]
+
+    def frame_times(self) -> List[float]:
+        return [f.frame_ms for f in self.frames]
+
+    def search_times(self) -> List[float]:
+        return [f.search_ms for f in self.frames]
+
+    def avg_search_ms(self) -> float:
+        return sum(self.search_times()) / len(self.frames)
+
+    def avg_query_search_ms(self) -> float:
+        """Mean search time over frames that actually issued a query."""
+        queried = [f.search_ms for f in self.frames if f.total_ios > 0]
+        if not queried:
+            return 0.0
+        return sum(queried) / len(queried)
+
+    def avg_ios(self) -> float:
+        return sum(f.total_ios for f in self.frames) / len(self.frames)
+
+    def avg_query_ios(self) -> float:
+        """Mean I/O count over frames that actually issued a query."""
+        queried = [f.total_ios for f in self.frames if f.total_ios > 0]
+        if not queried:
+            return 0.0
+        return sum(queried) / len(queried)
+
+    def avg_fidelity(self) -> float:
+        scored = [f.fidelity for f in self.frames if f.fidelity == f.fidelity]
+        return sum(scored) / len(scored) if scored else float("nan")
+
+    def peak_resident_bytes(self) -> int:
+        return max((f.resident_bytes for f in self.frames), default=0)
+
+
+class VisualSystem:
+    """The paper's prototype: HDoV-tree search + delta fetch.
+
+    Parameters
+    ----------
+    env:
+        Built environment.
+    eta:
+        The DoV threshold driving the traversal.
+    scheme:
+        Storage scheme name (defaults to the environment's only scheme).
+    """
+
+    def __init__(self, env: HDoVEnvironment, *, eta: float,
+                 scheme: Optional[str] = None,
+                 frame_model: Optional[FrameModel] = None,
+                 evaluate_fidelity: bool = True,
+                 cache_budget_bytes: Optional[int] = None) -> None:
+        if eta < 0:
+            raise WalkthroughError(f"eta must be >= 0, got {eta}")
+        self.env = env
+        self.eta = eta
+        self.frame_model = frame_model or FrameModel()
+        self.evaluate_fidelity = evaluate_fidelity
+        searcher = HDoVSearch(env, scheme, fetch_models=False)
+        self.delta = DeltaSearch(searcher,
+                                 cache_budget_bytes=cache_budget_bytes)
+        self._fidelity = FidelityMetric(env)
+
+    def run(self, session: Session) -> WalkthroughReport:
+        """Replay a session; returns the per-frame records."""
+        frames: List[FrameRecord] = []
+        self.delta.clear()
+        last_cell: Optional[int] = None
+        last_result: Optional[SearchResult] = None
+        last_fidelity = float("nan")
+        for index, waypoint in enumerate(session):
+            position = waypoint.position_array()
+            cell_id = self.env.grid.cell_of_point(position)
+            snap = self.env.snapshot()
+            if cell_id != last_cell or last_result is None:
+                last_result = self.delta.query_cell(cell_id, self.eta)
+                last_cell = cell_id
+                if self.evaluate_fidelity:
+                    last_fidelity = self._fidelity.score_hdov(last_result)
+            light, heavy = self.env.delta(snap)
+            io_ms = light.simulated_ms + heavy.simulated_ms
+            polygons = last_result.total_polygons
+            frames.append(FrameRecord(
+                frame_index=index,
+                cell_id=cell_id,
+                io_ms=io_ms,
+                light_ios=light.total_ios,
+                heavy_ios=heavy.total_ios,
+                polygons=polygons,
+                frame_ms=self.frame_model.frame_ms(io_ms, polygons),
+                search_ms=io_ms,
+                fidelity=last_fidelity,
+                resident_bytes=(self.delta.resident_bytes
+                                + self.delta.search.scheme.resident_bytes()),
+            ))
+        return WalkthroughReport(system=f"VISUAL(eta={self.eta})",
+                                 session=session.name, frames=frames)
+
+
+class ReviewWalkthrough:
+    """Replay driver around :class:`~repro.baselines.review.ReviewSystem`."""
+
+    def __init__(self, env: HDoVEnvironment, *, box_size: float = 400.0,
+                 frame_model: Optional[FrameModel] = None,
+                 evaluate_fidelity: bool = True,
+                 cache_budget_bytes: Optional[int] = None,
+                 requery_fraction: float = 0.25) -> None:
+        self.env = env
+        self.review = ReviewSystem(env, box_size=box_size,
+                                   cache_budget_bytes=cache_budget_bytes,
+                                   requery_fraction=requery_fraction)
+        self.frame_model = frame_model or FrameModel()
+        self.evaluate_fidelity = evaluate_fidelity
+        self._fidelity = FidelityMetric(env)
+
+    def run(self, session: Session) -> WalkthroughReport:
+        frames: List[FrameRecord] = []
+        self.review.clear_cache()
+        last_fidelity = float("nan")
+        for index, waypoint in enumerate(session):
+            position = waypoint.position_array()
+            snap = self.env.snapshot()
+            result, queried = self.review.frame(position)
+            light, heavy = self.env.delta(snap)
+            io_ms = light.simulated_ms + heavy.simulated_ms
+            cell_id = self.env.grid.cell_of_point(position)
+            if self.evaluate_fidelity:
+                # Fidelity is against the *current* cell's ground truth,
+                # whether or not a query ran this frame.
+                rendered: Dict[int, int] = {}
+                for oid in result.object_ids:
+                    record = self.env.objects[oid]
+                    distance = record.chain.finest.aabb() \
+                        .min_distance_to_point(position)
+                    fraction = self.review.lod_policy \
+                        .fraction_for_distance(distance)
+                    rendered[oid] = record.chain \
+                        .interpolated_polygons(fraction)
+                last_fidelity = self._fidelity.score_rendered(cell_id,
+                                                              rendered)
+            frames.append(FrameRecord(
+                frame_index=index,
+                cell_id=cell_id,
+                io_ms=io_ms,
+                light_ios=light.total_ios,
+                heavy_ios=heavy.total_ios,
+                polygons=result.total_polygons,
+                frame_ms=self.frame_model.frame_ms(io_ms,
+                                                   result.total_polygons),
+                search_ms=io_ms,
+                fidelity=last_fidelity,
+                resident_bytes=self.review.resident_bytes,
+            ))
+        return WalkthroughReport(
+            system=f"REVIEW(box={self.review.box_size:g}m)",
+            session=session.name, frames=frames)

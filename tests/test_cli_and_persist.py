@@ -1,0 +1,103 @@
+"""CLI and visibility persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+from repro.errors import VisibilityError
+from repro.visibility.dov import CellVisibility, VisibilityTable
+from repro.visibility.persist import load_visibility, save_visibility
+
+
+# -- visibility persistence ----------------------------------------------------
+
+def test_roundtrip(tmp_path):
+    table = VisibilityTable(5)
+    table.put(CellVisibility(0, dov={3: 0.5, 7: 0.001}))
+    table.put(CellVisibility(4, dov={1: 1.0}))
+    path = str(tmp_path / "vis.npz")
+    save_visibility(table, path)
+    loaded = load_visibility(path)
+    assert loaded.num_cells == 5
+    assert loaded.cell(0).dov == pytest.approx(table.cell(0).dov)
+    assert loaded.cell(4).dov == pytest.approx(table.cell(4).dov)
+    assert loaded.cell(2).num_visible == 0
+
+
+def test_roundtrip_empty_table(tmp_path):
+    table = VisibilityTable(3)
+    path = str(tmp_path / "empty.npz")
+    save_visibility(table, path)
+    loaded = load_visibility(path)
+    assert loaded.num_cells == 3
+    assert all(c.num_visible == 0 for c in loaded.cells())
+
+
+def test_roundtrip_real_table(env, tmp_path):
+    path = str(tmp_path / "real.npz")
+    save_visibility(env.visibility, path)
+    loaded = load_visibility(path)
+    assert loaded.num_cells == env.visibility.num_cells
+    for cid in range(loaded.num_cells):
+        assert loaded.cell(cid).dov == pytest.approx(
+            env.visibility.cell(cid).dov)
+
+
+def test_bad_version_rejected(tmp_path):
+    path = str(tmp_path / "bad.npz")
+    np.savez(path, version=np.int64(99), num_cells=np.int64(1),
+             cell_ids=np.array([], dtype=np.int64),
+             object_ids=np.array([], dtype=np.int64),
+             dovs=np.array([], dtype=np.float64))
+    with pytest.raises(VisibilityError):
+        load_visibility(path)
+
+
+def test_loaded_table_builds_environment(small_scene, small_grid, env,
+                                         tmp_path):
+    """A persisted table can seed a new environment build."""
+    from repro.core.hdov_tree import HDoVConfig, build_environment
+    path = str(tmp_path / "seed.npz")
+    save_visibility(env.visibility, path)
+    table = load_visibility(path)
+    rebuilt = build_environment(
+        small_scene, small_grid,
+        HDoVConfig(schemes=("indexed-vertical",)), visibility=table)
+    from repro.core.search import HDoVSearch
+    search = HDoVSearch(rebuilt)
+    busiest = max(env.grid.cell_ids(),
+                  key=lambda c: env.visibility.cell(c).num_visible)
+    assert search.query_cell(busiest, 0.0).object_ids() == \
+        env.visibility.cell(busiest).visible_ids()
+
+
+# -- CLI ------------------------------------------------------------------
+
+def test_parser_rejects_missing_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    for name in EXPERIMENTS:
+        assert name in out
+
+
+def test_run_unknown_experiment(capsys):
+    assert main(["run", "nonsense"]) == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+def test_run_small_experiment(capsys):
+    assert main(["run", "ablation-flip", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "vertical flip I/Os" in out
+    assert "completed in" in out
+
+
+def test_run_table2_small(capsys):
+    assert main(["run", "table2", "--scale", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out

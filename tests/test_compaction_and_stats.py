@@ -1,0 +1,113 @@
+"""Compaction after updates, and scene/visibility statistics."""
+
+import pytest
+
+from repro.core.compaction import compact_indexed_vertical
+from repro.core.hdov_tree import HDoVConfig, build_environment
+from repro.core.search import HDoVSearch
+from repro.core.update import remove_object
+from repro.errors import GeometryError, HDoVError
+from repro.scene.city import CityParams, generate_city
+from repro.scene.objects import Scene
+from repro.scene.stats import scene_stats, visibility_stats
+from repro.visibility.cells import CellGrid
+
+
+@pytest.fixture()
+def fresh_env():
+    scene = generate_city(CityParams(blocks_x=4, blocks_y=4, seed=29,
+                                     bunnies_per_block=3,
+                                     building_fraction=0.5,
+                                     bunny_subdivisions=2))
+    grid = CellGrid.covering(scene.bounds(), cell_size=120.0)
+    return build_environment(scene, grid,
+                             HDoVConfig(dov_resolution=12,
+                                        schemes=("indexed-vertical",)))
+
+
+def most_visible(env):
+    counts = {}
+    for cell_id in env.grid.cell_ids():
+        for oid in env.visibility.cell(cell_id).visible_ids():
+            counts[oid] = counts.get(oid, 0) + 1
+    return max(counts, key=counts.get)
+
+
+# -- compaction --------------------------------------------------------------
+
+def test_compaction_reclaims_update_garbage(fresh_env):
+    env = fresh_env
+    remove_object(env, most_visible(env))
+    scheme = env.scheme("indexed-vertical")
+    bloated = scheme.vpage_file.byte_size + scheme.index_file.byte_size
+    report = compact_indexed_vertical(env)
+    assert report.reclaimed_bytes > 0
+    assert 0.0 < report.garbage_fraction < 1.0
+    new_scheme = env.scheme("indexed-vertical")
+    compacted = (new_scheme.vpage_file.byte_size
+                 + new_scheme.index_file.byte_size)
+    assert compacted < bloated
+
+
+def test_compaction_preserves_answers(fresh_env):
+    env = fresh_env
+    remove_object(env, most_visible(env))
+    search = HDoVSearch(env)
+    before = {cell_id: search.query_cell(cell_id, 0.0).object_ids()
+              for cell_id in env.grid.cell_ids()}
+    compact_indexed_vertical(env)
+    search = HDoVSearch(env)       # rebind to the new scheme
+    for cell_id, expected in before.items():
+        search.scheme.current_cell = None
+        assert search.query_cell(cell_id, 0.0).object_ids() == expected
+
+
+def test_compaction_without_garbage_is_stable(fresh_env):
+    env = fresh_env
+    report = compact_indexed_vertical(env)
+    # Fresh environments carry no garbage; sizes are unchanged.
+    assert report.vpage_bytes_after == report.vpage_bytes_before
+    assert report.garbage_fraction == pytest.approx(0.0, abs=1e-6)
+
+
+def test_compaction_requires_indexed_vertical(small_scene, small_grid):
+    env = build_environment(
+        small_scene, small_grid,
+        HDoVConfig(dov_resolution=8, schemes=("horizontal",)))
+    with pytest.raises(HDoVError):
+        compact_indexed_vertical(env, scheme_name="horizontal")
+
+
+# -- statistics --------------------------------------------------------------
+
+def test_scene_stats(small_scene):
+    stats = scene_stats(small_scene)
+    assert stats.num_objects == len(small_scene)
+    assert stats.total_polygons == small_scene.total_polygons()
+    assert set(stats.categories) <= {"building", "bunny"}
+    assert sum(stats.categories.values()) == stats.num_objects
+    q = stats.polygon_quantiles
+    assert q == sorted(q)
+    assert q[0] >= 1
+    report = stats.format_report()
+    assert "objects:" in report and "polygons:" in report
+
+
+def test_scene_stats_empty_rejected():
+    with pytest.raises(GeometryError):
+        scene_stats(Scene())
+
+
+def test_visibility_stats(small_env):
+    stats = visibility_stats(small_env.visibility, len(small_env.scene))
+    assert stats.num_cells == small_env.grid.num_cells
+    assert 0.0 < stats.visibility_density < 1.0
+    assert stats.dov_quantiles[0] > 0.0        # stored DoVs are positive
+    assert stats.dov_quantiles[-1] <= 1.0
+    assert stats.visible_quantiles == sorted(stats.visible_quantiles)
+    assert "DoV values" in stats.format_report()
+
+
+def test_visibility_stats_validation(small_env):
+    with pytest.raises(GeometryError):
+        visibility_stats(small_env.visibility, 0)

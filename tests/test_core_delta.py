@@ -1,0 +1,106 @@
+"""Delta search tests: temporal coherence and memory accounting."""
+
+import pytest
+
+from repro.core.delta import DeltaSearch
+from repro.core.search import HDoVSearch
+from repro.errors import HDoVError
+
+
+def make_delta(env, keep_offscreen=True, eta_scheme="indexed-vertical"):
+    search = HDoVSearch(env, eta_scheme, fetch_models=False)
+    return DeltaSearch(search, keep_offscreen=keep_offscreen)
+
+
+def busiest_cells(env, limit=4):
+    return sorted(env.grid.cell_ids(),
+                  key=lambda c: -env.visibility.cell(c).num_visible)[:limit]
+
+
+def test_requires_fetch_models_false(env):
+    with pytest.raises(HDoVError):
+        DeltaSearch(HDoVSearch(env, "indexed-vertical", fetch_models=True))
+
+
+def test_repeat_query_fetches_nothing(env):
+    delta = make_delta(env)
+    cell = busiest_cells(env)[0]
+    delta.query_cell(cell, eta=0.0)
+    env.reset_stats()
+    delta.query_cell(cell, eta=0.0)
+    assert env.heavy_stats.total_ios == 0       # all resident
+    assert env.light_stats.total_ios > 0        # traversal still runs
+
+
+def test_delta_result_matches_full_search(env):
+    """Union semantics: a delta query returns the same answer set a
+    from-scratch search would."""
+    delta = make_delta(env)
+    fresh = HDoVSearch(env, "indexed-vertical", fetch_models=False)
+    cells = busiest_cells(env)
+    for cell in cells:
+        via_delta = delta.query_cell(cell, eta=0.002)
+        fresh.scheme.current_cell = None
+        direct = fresh.query_cell(cell, eta=0.002)
+        assert via_delta.object_ids() == direct.object_ids()
+
+
+def test_skip_counter_grows_on_overlap(env):
+    delta = make_delta(env)
+    cells = busiest_cells(env, limit=2)
+    delta.query_cell(cells[0], eta=0.0)
+    fetched_first = delta.fetches
+    delta.query_cell(cells[0], eta=0.0)
+    assert delta.fetches == fetched_first
+    assert delta.skipped >= fetched_first
+
+
+def test_resident_bytes_track_result(env):
+    delta = make_delta(env, keep_offscreen=False)
+    cell = busiest_cells(env)[0]
+    result = delta.query_cell(cell, eta=0.0)
+    assert delta.resident_count == result.num_results
+    assert delta.resident_bytes == result.total_model_bytes
+
+
+def test_evicting_mode_refetches_on_return(env):
+    delta = make_delta(env, keep_offscreen=False)
+    cells = busiest_cells(env, limit=2)
+    delta.query_cell(cells[0], eta=0.0)
+    first_fetches = delta.fetches
+    delta.query_cell(cells[1], eta=0.0)
+    delta.query_cell(cells[0], eta=0.0)     # must refetch dropped models
+    assert delta.fetches > first_fetches
+
+
+def test_caching_mode_free_on_return(env):
+    delta = make_delta(env, keep_offscreen=True)
+    cells = busiest_cells(env, limit=2)
+    delta.query_cell(cells[0], eta=0.0)
+    delta.query_cell(cells[1], eta=0.0)
+    fetches = delta.fetches
+    delta.query_cell(cells[0], eta=0.0)
+    assert delta.fetches == fetches
+
+
+def test_upgrade_fetches_when_detail_rises(env):
+    """A resident coarse representation is refetched when a later query
+    needs more detail (higher fraction)."""
+    delta = make_delta(env)
+    cell = busiest_cells(env)[0]
+    # eta large: internal LoDs at low fractions and/or coarse retrieval.
+    delta.query_cell(cell, eta=0.05)
+    fetches_before = delta.fetches
+    result = delta.query_cell(cell, eta=0.0)   # full detail now
+    # Objects that were previously covered by internals must be fetched.
+    assert delta.fetches > fetches_before
+    assert result.object_ids() == \
+        env.visibility.cell(cell).visible_ids()
+
+
+def test_clear_resets_state(env):
+    delta = make_delta(env)
+    delta.query_cell(busiest_cells(env)[0], eta=0.0)
+    delta.clear()
+    assert delta.resident_bytes == 0
+    assert delta.resident_count == 0

@@ -1,0 +1,99 @@
+"""Frustum-prioritized traversal: exactness and time-to-renderable."""
+
+import numpy as np
+import pytest
+
+from repro.core.priority import PrioritizedSearch
+from repro.core.search import HDoVSearch
+from repro.geometry.frustum import Camera
+
+
+def busiest_cells(env, limit=4):
+    return sorted(env.grid.cell_ids(),
+                  key=lambda c: -env.visibility.cell(c).num_visible)[:limit]
+
+
+def camera_at(env, cell_id, direction=(1.0, 0.0, 0.0)):
+    return Camera(position=env.grid.cell_center(cell_id),
+                  direction=direction, up=(0, 0, 1), fov_deg=70.0,
+                  far=5000.0)
+
+
+@pytest.mark.parametrize("eta", [0.0, 0.01])
+def test_union_equals_plain_search(env, eta):
+    """Phase 1 + phase 2 together reproduce the plain answer exactly."""
+    prioritized = PrioritizedSearch(env, "indexed-vertical",
+                                    fetch_models=False)
+    plain = HDoVSearch(env, "indexed-vertical", fetch_models=False)
+    for cell_id in busiest_cells(env):
+        cam = camera_at(env, cell_id)
+        result = prioritized.query(cam, eta)
+        plain.scheme.current_cell = None
+        expected = plain.query_cell(cell_id, eta)
+        assert result.completed.object_ids() == expected.object_ids()
+        assert sorted(i.node_offset for i in result.completed.internals) \
+            == sorted(i.node_offset for i in expected.internals)
+
+
+def test_phases_are_disjoint(env):
+    prioritized = PrioritizedSearch(env, "indexed-vertical",
+                                    fetch_models=False)
+    for cell_id in busiest_cells(env):
+        cam = camera_at(env, cell_id)
+        result = prioritized.query(cam, 0.0)
+        phase1 = set(result.in_frustum.object_ids())
+        all_ids = result.completed.object_ids()
+        assert len(all_ids) == len(set(all_ids))       # no duplicates
+        assert phase1 <= set(all_ids)
+
+
+def test_phase1_objects_intersect_frustum(env):
+    prioritized = PrioritizedSearch(env, "indexed-vertical",
+                                    fetch_models=False)
+    cell_id = busiest_cells(env)[0]
+    cam = camera_at(env, cell_id)
+    frustum = cam.frustum()
+    result = prioritized.query(cam, 0.0)
+    for obj in result.in_frustum.objects:
+        mbr = env.objects[obj.object_id].chain.finest.aabb()
+        assert frustum.intersects_aabb(mbr)
+
+
+def test_first_phase_is_faster_than_total(env):
+    prioritized = PrioritizedSearch(env, "indexed-vertical")
+    improved = 0
+    for cell_id in busiest_cells(env):
+        cam = camera_at(env, cell_id)
+        env.reset_stats()
+        result = prioritized.query(cam, 0.0)
+        assert result.first_phase_ms <= result.total_ms + 1e-9
+        if (result.in_frustum.num_results
+                < result.completed.num_results):
+            assert result.first_phase_ms < result.total_ms
+            improved += 1
+    assert improved > 0     # the frustum genuinely delays some work
+
+
+def test_narrow_frustum_small_first_phase(env):
+    """A narrow field of view leaves most retrieval to phase 2."""
+    prioritized = PrioritizedSearch(env, "indexed-vertical",
+                                    fetch_models=False)
+    cell_id = busiest_cells(env)[0]
+    narrow = Camera(position=env.grid.cell_center(cell_id),
+                    direction=(1, 0, 0), up=(0, 0, 1), fov_deg=10.0,
+                    far=5000.0)
+    wide = camera_at(env, cell_id)
+    narrow_result = prioritized.query(narrow, 0.0)
+    wide_result = prioritized.query(wide, 0.0)
+    assert narrow_result.in_frustum.num_results <= \
+        wide_result.in_frustum.num_results
+    assert narrow_result.completed.object_ids() == \
+        wide_result.completed.object_ids()
+
+
+def test_speedup_property(env):
+    prioritized = PrioritizedSearch(env, "indexed-vertical")
+    cam = camera_at(env, busiest_cells(env)[0])
+    env.reset_stats()
+    result = prioritized.query(cam, 0.0)
+    assert result.speedup >= 1.0

@@ -1,0 +1,207 @@
+"""Storage scheme tests: round trips, costs, paper storage formulas."""
+
+import math
+
+import pytest
+
+from repro.constants import SIZE_INTEGER, SIZE_POINTER
+from repro.core.schemes import (SCHEME_CLASSES, HorizontalScheme,
+                                IndexedVerticalScheme, VerticalScheme)
+from repro.core.vpage import CellVPages
+from repro.errors import SchemeError
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+
+NUM_NODES = 12
+PAGE_SIZE = 512
+
+
+def synthetic_cells(num_cells=4):
+    """Cells where node offset o is visible in cell c iff (o + c) % 3 == 0
+    (sparse visibility, like real scenes); entry counts differ per node
+    to exercise layout variety."""
+    cells = []
+    for c in range(num_cells):
+        pages = {}
+        for offset in range(NUM_NODES):
+            if (offset + c) % 3 == 0:
+                count = 1 + offset % 3
+                pages[offset] = [(0.1 * (i + 1) / count, i + 1)
+                                 for i in range(count)]
+        cells.append(CellVPages(cell_id=c, pages=pages))
+    return cells
+
+
+def build_scheme(name, cells=None):
+    cells = cells if cells is not None else synthetic_cells()
+    stats = IOStats()
+    disk = DiskModel(seek_ms=10.0, transfer_ms=1.0, readahead_pages=1)
+    vpf = PagedFile(f"{name}-v", page_size=PAGE_SIZE, disk=disk, stats=stats)
+    cls = SCHEME_CLASSES[name]
+    if name == "horizontal":
+        scheme = cls(vpf)
+    else:
+        idx = PagedFile(f"{name}-i", page_size=PAGE_SIZE, disk=disk,
+                        stats=stats)
+        scheme = cls(vpf, idx)
+    scheme.build(NUM_NODES, cells)
+    stats.reset()
+    return scheme, stats, cells
+
+
+@pytest.mark.parametrize("name", sorted(SCHEME_CLASSES))
+class TestAllSchemes:
+    def test_roundtrip_all_cells(self, name):
+        scheme, _stats, cells = build_scheme(name)
+        for cell in cells:
+            scheme.flip_to_cell(cell.cell_id)
+            for offset in range(NUM_NODES):
+                expected = cell.pages.get(offset)
+                got = scheme.ventries(offset)
+                if expected is None:
+                    assert got is None
+                else:
+                    assert got is not None
+                    assert len(got) == len(expected)
+                    for (dov, nvo), (gdov, gnvo) in zip(expected, got):
+                        assert gnvo == nvo
+                        assert gdov == pytest.approx(dov, abs=1e-6)
+
+    def test_requires_flip_before_read(self, name):
+        scheme, _stats, _cells = build_scheme(name)
+        with pytest.raises(SchemeError):
+            scheme.ventries(0)
+
+    def test_rejects_bad_cell_and_offset(self, name):
+        scheme, _stats, _cells = build_scheme(name)
+        with pytest.raises(SchemeError):
+            scheme.flip_to_cell(99)
+        scheme.flip_to_cell(0)
+        with pytest.raises(SchemeError):
+            scheme.ventries(NUM_NODES + 5)
+
+    def test_double_build_rejected(self, name):
+        scheme, _stats, cells = build_scheme(name)
+        with pytest.raises(SchemeError):
+            scheme.build(NUM_NODES, cells)
+
+    def test_flip_to_same_cell_free(self, name):
+        scheme, stats, _cells = build_scheme(name)
+        scheme.flip_to_cell(1)
+        reads_after_first = stats.reads
+        scheme.flip_to_cell(1)
+        assert stats.reads == reads_after_first
+        assert scheme.flips == 1
+
+
+def test_horizontal_vpage_access_is_one_page():
+    scheme, stats, cells = build_scheme("horizontal")
+    scheme.flip_to_cell(0)
+    assert stats.reads == 0                 # flip is free
+    scheme.ventries(0)
+    assert stats.reads == 1                 # one V-page access
+
+
+def test_horizontal_storage_formula():
+    scheme, _stats, cells = build_scheme("horizontal")
+    breakdown = scheme.storage_breakdown()
+    assert breakdown.vpage_bytes == PAGE_SIZE * NUM_NODES * len(cells)
+    assert breakdown.index_bytes == 0
+
+
+def test_vertical_storage_formula():
+    scheme, _stats, cells = build_scheme("vertical")
+    breakdown = scheme.storage_breakdown()
+    n_vnode_total = sum(c.num_visible_nodes for c in cells)
+    assert breakdown.vpage_bytes == PAGE_SIZE * n_vnode_total
+    assert breakdown.index_bytes == SIZE_POINTER * NUM_NODES * len(cells)
+
+
+def test_indexed_vertical_storage_formula():
+    scheme, _stats, cells = build_scheme("indexed-vertical")
+    breakdown = scheme.storage_breakdown()
+    n_vnode_total = sum(c.num_visible_nodes for c in cells)
+    assert breakdown.vpage_bytes == PAGE_SIZE * n_vnode_total
+    assert breakdown.index_bytes == (
+        (SIZE_POINTER + SIZE_INTEGER) * n_vnode_total)
+
+
+def test_storage_ordering_matches_paper():
+    """Horizontal >> vertical > indexed-vertical (Table 2's ordering)."""
+    sizes = {}
+    for name in SCHEME_CLASSES:
+        scheme, _stats, _cells = build_scheme(name)
+        sizes[name] = scheme.storage_breakdown().total_bytes
+    assert sizes["horizontal"] > sizes["vertical"]
+    assert sizes["vertical"] > sizes["indexed-vertical"]
+
+
+def test_vertical_flip_cost_scales_with_nodes():
+    """O(N_node) flip: many nodes -> multi-page segment reads."""
+    big_nodes = 2000
+    cells = [CellVPages(cell_id=c, pages={0: [(0.5, 1)]}) for c in range(2)]
+    stats = IOStats()
+    disk = DiskModel(readahead_pages=1)
+    vpf = PagedFile("v", page_size=PAGE_SIZE, disk=disk, stats=stats)
+    idx = PagedFile("i", page_size=PAGE_SIZE, disk=disk, stats=stats)
+    scheme = VerticalScheme(vpf, idx)
+    scheme.build(big_nodes, cells)
+    stats.reset()
+    scheme.flip_to_cell(0)
+    expected_pages = math.ceil(big_nodes * SIZE_POINTER / PAGE_SIZE)
+    assert stats.reads == expected_pages
+    assert expected_pages > 1
+
+
+def test_indexed_vertical_flip_cost_scales_with_visible():
+    """O(N_vnode) flip: huge trees with few visible nodes flip in 1 page."""
+    big_nodes = 2000
+    cells = [CellVPages(cell_id=c, pages={0: [(0.5, 1)]}) for c in range(2)]
+    stats = IOStats()
+    vpf = PagedFile("v", page_size=PAGE_SIZE, disk=DiskModel(), stats=stats)
+    idx = PagedFile("i", page_size=PAGE_SIZE, disk=DiskModel(), stats=stats)
+    scheme = IndexedVerticalScheme(vpf, idx)
+    scheme.build(big_nodes, cells)
+    stats.reset()
+    scheme.flip_to_cell(0)
+    assert stats.reads == 1
+
+
+def test_vertical_vpages_dfs_contiguous_per_cell():
+    """V-pages of one cell occupy one contiguous ascending run."""
+    scheme, stats, cells = build_scheme("vertical")
+    scheme.flip_to_cell(2)
+    stats.reset()
+    for offset in cells[2].visible_offsets_dfs():
+        scheme.ventries(offset)
+    # First access seeks; the rest are +1-sequential.
+    assert stats.sequential_reads == cells[2].num_visible_nodes - 1
+
+
+def test_resident_bytes_ordering():
+    """Vertical keeps N_node pointers resident; indexed only N_vnode."""
+    vertical, _s1, cells = build_scheme("vertical")
+    indexed, _s2, _c = build_scheme("indexed-vertical")
+    horizontal, _s3, _c2 = build_scheme("horizontal")
+    vertical.flip_to_cell(0)
+    indexed.flip_to_cell(0)
+    horizontal.flip_to_cell(0)
+    assert vertical.resident_bytes() == SIZE_POINTER * NUM_NODES
+    assert indexed.resident_bytes() == (
+        (SIZE_POINTER + SIZE_INTEGER) * cells[0].num_visible_nodes)
+    assert horizontal.resident_bytes() == 0
+
+
+def test_empty_cells_rejected():
+    for name in SCHEME_CLASSES:
+        stats = IOStats()
+        vpf = PagedFile("v", page_size=PAGE_SIZE, disk=DiskModel(),
+                        stats=stats)
+        cls = SCHEME_CLASSES[name]
+        if name == "horizontal":
+            scheme = cls(vpf)
+        else:
+            scheme = cls(vpf, PagedFile("i", page_size=PAGE_SIZE,
+                                        disk=DiskModel(), stats=stats))
+        with pytest.raises(SchemeError):
+            scheme.build(NUM_NODES, [])

@@ -1,0 +1,168 @@
+"""Figure-3 traversal semantics over the shared small environment."""
+
+import pytest
+
+from repro.baselines.naive import NaiveCellList
+from repro.core.search import HDoVSearch
+from repro.errors import HDoVError
+
+
+def interesting_cells(env, limit=6):
+    """Cells with the largest visible sets (street viewpoints)."""
+    cells = sorted(env.grid.cell_ids(),
+                   key=lambda c: -env.visibility.cell(c).num_visible)
+    return cells[:limit]
+
+
+@pytest.fixture(scope="module")
+def naive(small_env):
+    return NaiveCellList(small_env)
+
+
+def test_eta_zero_equals_naive_object_set(env, naive):
+    """The degeneration of Figure 7: eta = 0 retrieves exactly the
+    naive (cell, list-of-objects) answer."""
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env):
+        hdov = search.query_cell(cell_id, eta=0.0)
+        base = naive.query_cell(cell_id)
+        assert hdov.object_ids() == base.object_ids()
+        assert not hdov.internals
+
+
+def test_eta_zero_objects_match_visibility_table(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env):
+        result = search.query_cell(cell_id, eta=0.0)
+        assert result.object_ids() == \
+            env.visibility.cell(cell_id).visible_ids()
+
+
+def test_all_schemes_agree(env):
+    searches = {name: HDoVSearch(env, name) for name in env.schemes}
+    for cell_id in interesting_cells(env, limit=4):
+        results = {}
+        for name, search in searches.items():
+            search.scheme.current_cell = None
+            results[name] = search.query_cell(cell_id, eta=0.002)
+        reference = results["indexed-vertical"]
+        for name, result in results.items():
+            assert result.object_ids() == reference.object_ids(), name
+            assert ([i.node_offset for i in result.internals]
+                    == [i.node_offset for i in reference.internals]), name
+
+
+def test_covered_objects_superset_of_visible(env):
+    """Raising eta never loses coverage: every visible object is either
+    retrieved directly or covered by an internal LoD."""
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env):
+        visible = set(env.visibility.cell(cell_id).visible_ids())
+        for eta in (0.0, 0.001, 0.01, 0.05):
+            result = search.query_cell(cell_id, eta)
+            covered = set(result.covered_object_ids())
+            assert visible <= covered
+
+
+def test_internal_terminations_only_above_zero_eta(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env):
+        assert not search.query_cell(cell_id, 0.0).internals
+
+
+def test_internal_dov_below_eta(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    eta = 0.05
+    for cell_id in interesting_cells(env):
+        result = search.query_cell(cell_id, eta)
+        for internal in result.internals:
+            assert 0.0 < internal.dov <= eta
+            assert 0.0 < internal.fraction <= 1.0
+
+
+def test_object_fractions_follow_eq6(env):
+    from repro.constants import MAXDOV
+    search = HDoVSearch(env, "indexed-vertical")
+    cell_id = interesting_cells(env)[0]
+    result = search.query_cell(cell_id, 0.0)
+    truth = env.visibility.cell(cell_id)
+    for obj in result.objects:
+        expected = min(truth.get(obj.object_id) / MAXDOV, 1.0)
+        assert obj.fraction == pytest.approx(expected)
+
+
+def test_direct_objects_decrease_with_eta(env):
+    """Larger eta terminates more branches, so fewer direct objects."""
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env):
+        counts = [len(search.query_cell(cell_id, eta).objects)
+                  for eta in (0.0, 0.004, 0.02, 0.1)]
+        assert counts == sorted(counts, reverse=True)
+
+
+def test_light_io_decreases_with_eta(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    cells = interesting_cells(env)
+
+    def light_ios(eta):
+        env.reset_stats()
+        for cell_id in cells:
+            search.scheme.current_cell = None
+            search.query_cell(cell_id, eta)
+        return env.light_stats.total_ios
+
+    baseline = light_ios(0.0)
+    coarse = light_ios(0.05)
+    assert coarse <= baseline
+
+
+def test_fetch_models_false_skips_heavy_io(env):
+    search = HDoVSearch(env, "indexed-vertical", fetch_models=False)
+    env.reset_stats()
+    search.query_cell(interesting_cells(env)[0], 0.0)
+    assert env.heavy_stats.total_ios == 0
+    assert env.light_stats.total_ios > 0
+
+
+def test_negative_eta_rejected(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    with pytest.raises(HDoVError):
+        search.query_cell(0, -0.1)
+
+
+def test_query_point_resolves_cell(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    point = env.grid.cell_center(interesting_cells(env)[0])
+    result = search.query_point(point, 0.0)
+    assert result.cell_id == env.grid.cell_of_point(point)
+
+
+def test_flip_flag(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    cells = interesting_cells(env)
+    search.scheme.current_cell = None
+    first = search.query_cell(cells[0], 0.0)
+    second = search.query_cell(cells[0], 0.0)
+    third = search.query_cell(cells[1], 0.0)
+    assert first.flipped
+    assert not second.flipped
+    assert third.flipped
+
+
+def test_nvo_heuristic_off_terminates_at_least_as_much(env):
+    with_h = HDoVSearch(env, "indexed-vertical")
+    without_h = HDoVSearch(env, "indexed-vertical", use_nvo_heuristic=False)
+    for cell_id in interesting_cells(env):
+        eta = 0.02
+        with_count = len(with_h.query_cell(cell_id, eta).internals)
+        without_count = len(without_h.query_cell(cell_id, eta).internals)
+        assert without_count >= with_count
+
+
+def test_result_totals_consistent(env):
+    search = HDoVSearch(env, "indexed-vertical")
+    result = search.query_cell(interesting_cells(env)[0], 0.01)
+    assert result.total_polygons == (
+        sum(o.polygons for o in result.objects)
+        + sum(i.polygons for i in result.internals))
+    assert result.num_results == len(result.objects) + len(result.internals)

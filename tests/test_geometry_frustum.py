@@ -1,0 +1,78 @@
+"""Camera and frustum tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.aabb import AABB
+from repro.geometry.frustum import Camera, Frustum
+
+
+def camera(**kwargs):
+    defaults = dict(position=(0, 0, 0), direction=(1, 0, 0), up=(0, 0, 1),
+                    fov_deg=90.0, aspect=1.0, near=0.1, far=100.0)
+    defaults.update(kwargs)
+    return Camera(**defaults)
+
+
+def test_camera_validation():
+    with pytest.raises(GeometryError):
+        camera(fov_deg=0.0)
+    with pytest.raises(GeometryError):
+        camera(near=1.0, far=0.5)
+    with pytest.raises(GeometryError):
+        camera(direction=(0, 0, 1))  # parallel to up
+
+
+def test_camera_right_vector():
+    cam = camera()
+    assert np.allclose(cam.right, (0, -1, 0))
+
+
+def test_frustum_contains_points_on_axis():
+    frustum = camera().frustum()
+    assert frustum.contains_point((10, 0, 0))
+    assert not frustum.contains_point((-10, 0, 0))      # behind camera
+    assert not frustum.contains_point((0.05, 0, 0))     # before near plane
+    assert not frustum.contains_point((200, 0, 0))      # beyond far plane
+
+
+def test_frustum_fov_boundary():
+    frustum = camera().frustum()        # 90 degrees: half-angle 45
+    assert frustum.contains_point((10, 9.9, 0))
+    assert not frustum.contains_point((10, 10.5, 0))
+    assert frustum.contains_point((10, 0, 9.9))
+    assert not frustum.contains_point((10, 0, 10.5))
+
+
+def test_frustum_aabb_intersection():
+    frustum = camera().frustum()
+    inside = AABB((5, -1, -1), (6, 1, 1))
+    behind = AABB((-6, -1, -1), (-5, 1, 1))
+    off_side = AABB((5, 50, -1), (6, 52, 1))
+    assert frustum.intersects_aabb(inside)
+    assert not frustum.intersects_aabb(behind)
+    assert not frustum.intersects_aabb(off_side)
+
+
+def test_frustum_aabb_partial_overlap():
+    frustum = camera().frustum()
+    straddling = AABB((50, -200, -1), (60, 1, 1))
+    assert frustum.intersects_aabb(straddling)
+
+
+def test_bounding_aabb_covers_far_corners():
+    cam = camera()
+    box = cam.frustum().bounding_aabb(cam)
+    # Far plane at 100 with 90-degree fov: corners at +-100 laterally.
+    assert box.contains_point((99.9, 99.9, 99.9))
+    assert box.contains_point((99.9, -99.9, -99.9))
+    assert box.hi[0] >= 100.0 - 1e-9
+
+
+def test_moved_to_preserves_intrinsics():
+    cam = camera()
+    moved = cam.moved_to((5, 5, 5), direction=(0, 1, 0))
+    assert np.allclose(moved.position, (5, 5, 5))
+    assert moved.fov_deg == cam.fov_deg
+    assert moved.far == cam.far

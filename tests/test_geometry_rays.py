@@ -1,0 +1,145 @@
+"""Ray casting kernels: unit tests and property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.aabb import AABB, pack_aabbs
+from repro.geometry.rays import (NO_HIT, cube_map_solid_angles, nearest_hits,
+                                 ray_aabb_intersect, rays_vs_aabbs,
+                                 rays_vs_triangles, sphere_direction_grid)
+
+
+def test_direction_grid_shape_and_unit_length():
+    dirs = sphere_direction_grid(8)
+    assert dirs.shape == (6 * 64, 3)
+    assert np.allclose(np.linalg.norm(dirs, axis=1), 1.0)
+
+
+def test_direction_grid_covers_all_octants():
+    dirs = sphere_direction_grid(4)
+    signs = {tuple(s) for s in np.sign(dirs).astype(int)}
+    assert len(signs) == 8
+
+
+def test_solid_angles_sum_to_full_sphere():
+    # Texel-center quadrature converges O(1/resolution^2).
+    for resolution, tolerance in ((4, 2e-2), (8, 5e-3), (16, 1.5e-3),
+                                  (32, 4e-4)):
+        omegas = cube_map_solid_angles(resolution)
+        assert omegas.sum() == pytest.approx(4 * np.pi, rel=tolerance)
+
+
+def test_ray_hits_box_straight_on():
+    t = ray_aabb_intersect((0, 0, 0), (1, 0, 0), (5, -1, -1), (6, 1, 1))
+    assert t == pytest.approx(5.0)
+
+
+def test_ray_misses_box():
+    assert ray_aabb_intersect((0, 0, 0), (0, 0, 1), (5, -1, -1),
+                              (6, 1, 1)) is None
+
+
+def test_ray_behind_box_misses():
+    assert ray_aabb_intersect((10, 0, 0), (1, 0, 0), (5, -1, -1),
+                              (6, 1, 1)) is None
+
+
+def test_ray_origin_inside_box_hits_at_zero():
+    t = ray_aabb_intersect((5.5, 0, 0), (1, 0, 0), (5, -1, -1), (6, 1, 1))
+    assert t == pytest.approx(0.0)
+
+
+def test_axis_parallel_ray_inside_slab():
+    # Direction has a zero component; origin within that slab.
+    t = ray_aabb_intersect((0, 0, 0), (1, 0, 0), (2, -1, -1), (3, 1, 1))
+    assert t == pytest.approx(2.0)
+
+
+def test_axis_parallel_ray_outside_slab_misses():
+    t = ray_aabb_intersect((0, 5, 0), (1, 0, 0), (2, -1, -1), (3, 1, 1))
+    assert t is None
+
+
+def test_nearest_hits_prefers_closer_box():
+    boxes = pack_aabbs([AABB((5, -1, -1), (6, 1, 1)),
+                        AABB((2, -1, -1), (3, 1, 1))])
+    ids, ts = nearest_hits((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), boxes)
+    assert ids[0] == 1
+    assert ts[0] == pytest.approx(2.0)
+
+
+def test_nearest_hits_miss_is_minus_one():
+    boxes = pack_aabbs([AABB((5, -1, -1), (6, 1, 1))])
+    ids, ts = nearest_hits((0, 0, 0), np.array([[0.0, 0.0, 1.0]]), boxes)
+    assert ids[0] == -1
+    assert ts[0] == NO_HIT
+
+
+def test_nearest_hits_no_boxes():
+    ids, ts = nearest_hits((0, 0, 0), np.array([[1.0, 0.0, 0.0]]),
+                           np.empty((0, 6)))
+    assert ids[0] == -1
+
+
+def test_rays_vs_triangles_hit_and_miss():
+    tri = np.array([[(1, -1, -1), (1, 1, -1), (1, 0, 1)]], dtype=float)
+    dirs = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, -1.0]])
+    t = rays_vs_triangles((0, 0, 0), dirs, tri)
+    assert t[0, 0] == pytest.approx(1.0)
+    assert t[1, 0] == NO_HIT
+
+
+def test_rays_vs_triangles_backface_still_hits():
+    # Moller-Trumbore without culling hits both orientations.
+    tri = np.array([[(1, -1, -1), (1, 0, 1), (1, 1, -1)]], dtype=float)
+    t = rays_vs_triangles((0, 0, 0), np.array([[1.0, 0.0, 0.0]]), tri)
+    assert t[0, 0] == pytest.approx(1.0)
+
+
+unit_dirs = st.tuples(
+    st.floats(-1, 1), st.floats(-1, 1), st.floats(-1, 1)
+).filter(lambda d: np.linalg.norm(d) > 1e-3).map(
+    lambda d: np.asarray(d) / np.linalg.norm(d))
+
+
+@given(direction=unit_dirs,
+       scale=st.floats(min_value=0.1, max_value=100.0))
+@settings(max_examples=50, deadline=None)
+def test_ray_through_box_center_always_hits(direction, scale):
+    """A ray aimed at a box's center from outside must hit it."""
+    center = direction * (scale + 10.0)
+    box = AABB.from_center_extent(center, (scale, scale, scale))
+    t = ray_aabb_intersect((0, 0, 0), direction, box.lo, box.hi)
+    assert t is not None
+    assert 0 < t <= scale + 10.0
+
+
+@given(direction=unit_dirs)
+@settings(max_examples=30, deadline=None)
+def test_entry_distance_lower_bounds_center_distance(direction):
+    box = AABB.from_center_extent(direction * 20.0, (2, 2, 2))
+    t = ray_aabb_intersect((0, 0, 0), direction, box.lo, box.hi)
+    assert t is not None
+    assert t <= 20.0
+    assert t >= 20.0 - box.diagonal
+
+
+def test_vectorized_matches_scalar():
+    rng = np.random.default_rng(5)
+    boxes = []
+    for _ in range(20):
+        lo = rng.uniform(-10, 10, 3)
+        boxes.append(AABB(lo, lo + rng.uniform(0.5, 5.0, 3)))
+    packed = pack_aabbs(boxes)
+    dirs = sphere_direction_grid(4)
+    origin = np.array([0.0, 0.0, 0.0])
+    t = rays_vs_aabbs(origin, dirs, packed)
+    for i in range(0, len(dirs), 7):
+        for j in range(len(boxes)):
+            scalar = ray_aabb_intersect(origin, dirs[i], boxes[j].lo,
+                                        boxes[j].hi)
+            if scalar is None:
+                assert t[i, j] == NO_HIT
+            else:
+                assert t[i, j] == pytest.approx(scalar, abs=1e-9)

@@ -1,0 +1,76 @@
+"""Internal LoD generation tests."""
+
+import pytest
+
+from repro.errors import HDoVError
+from repro.lod.internal import build_internal_lods
+from repro.rtree.bulk import str_bulk_load
+
+
+@pytest.fixture(scope="module")
+def tree_and_lods(small_scene):
+    tree = str_bulk_load([(o.mbr, o.object_id) for o in small_scene],
+                         max_entries=6)
+    for offset, node in enumerate(tree.iter_nodes_dfs()):
+        node.node_offset = offset
+    lods = build_internal_lods(tree, small_scene, ratio_s=0.3, levels=2)
+    return tree, lods
+
+
+def test_every_node_has_internal_lod(tree_and_lods):
+    tree, lods = tree_and_lods
+    offsets = {n.node_offset for n in tree.iter_nodes_dfs()}
+    assert set(lods) == offsets
+
+
+def test_ratio_s_achieved(tree_and_lods):
+    _tree, lods = tree_and_lods
+    for lod in lods.values():
+        # Small nodes hit the 4-face floor; otherwise s must be met
+        # approximately (clustering may undershoot the target).
+        if lod.chain.finest.num_faces > 8:
+            assert lod.ratio_s <= 0.45
+
+
+def test_chains_have_two_levels(tree_and_lods):
+    _tree, lods = tree_and_lods
+    for lod in lods.values():
+        assert lod.chain.num_levels == 2
+        assert lod.chain.coarsest.num_faces <= lod.chain.finest.num_faces
+
+
+def test_internal_lod_occupies_node_region(tree_and_lods, small_scene):
+    tree, lods = tree_and_lods
+    for node in tree.iter_nodes_dfs():
+        lod = lods[node.node_offset]
+        node_box = node.mbr()
+        margin = node_box.diagonal * 0.1 + 1.0
+        assert node_box.inflated(margin).contains(lod.chain.finest.aabb())
+
+
+def test_higher_levels_aggregate_children(tree_and_lods):
+    """A parent's internal LoD is no finer than the sum of its children's
+    highest internal LoDs times s (with slack for the 4-face floor)."""
+    tree, lods = tree_and_lods
+    for node in tree.iter_nodes_dfs():
+        if node.is_leaf:
+            continue
+        child_sum = sum(lods[c.node_offset].chain.finest.num_faces
+                        for c in node.children())
+        parent_faces = lods[node.node_offset].chain.finest.num_faces
+        assert parent_faces <= max(child_sum * 0.45, 8)
+
+
+def test_unpersisted_tree_rejected(small_scene):
+    tree = str_bulk_load([(o.mbr, o.object_id) for o in small_scene],
+                         max_entries=6)
+    with pytest.raises(HDoVError):
+        build_internal_lods(tree, small_scene)
+
+
+def test_invalid_params(small_scene, tree_and_lods):
+    tree, _lods = tree_and_lods
+    with pytest.raises(HDoVError):
+        build_internal_lods(tree, small_scene, ratio_s=0.0)
+    with pytest.raises(HDoVError):
+        build_internal_lods(tree, small_scene, levels=0)

@@ -1,0 +1,119 @@
+"""Scheme prefetch buffer and the motion-predicting prefetcher."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkthroughError
+from repro.walkthrough.prefetch import CellPrefetcher
+
+
+def busiest_cells(env, limit=3):
+    return sorted(env.grid.cell_ids(),
+                  key=lambda c: -env.visibility.cell(c).num_visible)[:limit]
+
+
+@pytest.mark.parametrize("scheme_name", ["vertical", "indexed-vertical"])
+def test_prefetched_flip_is_free(env, scheme_name):
+    scheme = env.scheme(scheme_name)
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    env.reset_stats()
+    scheme.prefetch_cell(cells[1])
+    prefetch_reads = env.light_stats.reads
+    assert prefetch_reads > 0                  # the work happens now
+    env.reset_stats()
+    scheme.flip_to_cell(cells[1])
+    assert env.light_stats.reads == 0          # ... so the flip is free
+    assert scheme.prefetched_flips >= 1
+
+
+@pytest.mark.parametrize("scheme_name", ["vertical", "indexed-vertical"])
+def test_prefetch_preserves_current_cell_reads(env, scheme_name):
+    """Prefetching must not corrupt reads against the current cell."""
+    scheme = env.scheme(scheme_name)
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    expected = {offset: scheme.ventries(offset)
+                for offset in env.cell_vpages[cells[0]].pages}
+    scheme.prefetch_cell(cells[1])
+    for offset, ventries in expected.items():
+        assert scheme.ventries(offset) == ventries
+
+
+def test_prefetch_then_flip_reads_right_data(env):
+    scheme = env.scheme("indexed-vertical")
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    scheme.prefetch_cell(cells[1])
+    scheme.flip_to_cell(cells[1])
+    for offset in env.cell_vpages[cells[1]].pages:
+        got = scheme.ventries(offset)
+        expected = env.cell_vpages[cells[1]].ventries(offset)
+        assert got is not None
+        for (dov, nvo), (edov, envo) in zip(got, expected):
+            assert nvo == envo
+            assert dov == pytest.approx(edov, abs=1e-6)
+
+
+def test_unused_prefetch_is_harmless(env):
+    scheme = env.scheme("indexed-vertical")
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    scheme.prefetch_cell(cells[1])
+    scheme.flip_to_cell(cells[2])       # went elsewhere
+    assert scheme.current_cell == cells[2]
+    scheme.drop_prefetches()
+
+
+def test_prefetcher_predicts_along_velocity(env):
+    scheme = env.scheme("indexed-vertical")
+    prefetcher = CellPrefetcher(env, scheme, trigger_fraction=1.0)
+    grid = env.grid
+    start = grid.cell_center(busiest_cells(env)[0])
+    # First observation: no velocity yet.
+    assert prefetcher.observe(start) is None
+    # Move straight along +x: prediction lands in the +x neighbor once
+    # close enough to the boundary.
+    step = np.array([grid.cell_size * 0.6, 0.0, 0.0])
+    predicted = prefetcher.observe(start + step)
+    if predicted is not None:
+        assert predicted != grid.cell_of_point(start + step)
+    # Standing still predicts nothing.
+    assert prefetcher.observe(start + step) is None
+
+
+def test_prefetcher_end_to_end_smooths_crossing(env):
+    """A predicted crossing pays its flip early; the crossing frame's
+    I/O is smaller than without prefetching."""
+    scheme = env.scheme("indexed-vertical")
+    grid = env.grid
+    cells = busiest_cells(env)
+    position = grid.cell_center(cells[0])
+    # Pick the +x neighbor as the crossing target.
+    target = grid.cell_of_point(position
+                                + np.array([grid.cell_size, 0.0, 0.0]))
+    if target == cells[0]:
+        pytest.skip("cell at grid edge")
+
+    # Without prefetch: the crossing flip pays reads.
+    scheme.current_cell = None
+    scheme.flip_to_cell(cells[0])
+    env.reset_stats()
+    scheme.flip_to_cell(target)
+    cold_reads = env.light_stats.reads
+
+    # With prefetch: warmed beforehand, crossing free.
+    scheme.flip_to_cell(cells[0])
+    prefetcher = CellPrefetcher(env, scheme, trigger_fraction=1.0)
+    prefetcher.observe(position)
+    prefetcher.observe(position + np.array([grid.cell_size * 0.45, 0, 0]))
+    env.reset_stats()
+    scheme.flip_to_cell(target)
+    warm_reads = env.light_stats.reads
+    assert warm_reads <= cold_reads
+
+
+def test_prefetcher_validation(env):
+    with pytest.raises(WalkthroughError):
+        CellPrefetcher(env, env.scheme("indexed-vertical"),
+                       trigger_fraction=0.0)

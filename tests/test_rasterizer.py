@@ -1,0 +1,109 @@
+"""Cube-map rasterizer tests: geometry sanity and cross-validation
+against the ray-casting estimators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import VisibilityError
+from repro.geometry.aabb import pack_aabbs
+from repro.geometry.primitives import box_mesh, icosphere
+from repro.geometry.solidangle import FULL_SPHERE, sphere_solid_angle
+from repro.visibility.exact import MeshDoVEstimator
+from repro.visibility.rasterizer import EMPTY, CubeMapRasterizer
+from repro.visibility.raycast import RayCastDoVEstimator
+
+
+def test_empty_scene_rejected():
+    with pytest.raises(VisibilityError):
+        CubeMapRasterizer([])
+    with pytest.raises(VisibilityError):
+        CubeMapRasterizer([box_mesh((0, 0, 0), (1, 1, 1))],
+                          object_ids=[1, 2])
+    with pytest.raises(VisibilityError):
+        CubeMapRasterizer([box_mesh((0, 0, 0), (1, 1, 1))], resolution=0)
+
+
+def test_far_viewpoint_sees_nothing_on_back_faces():
+    # The box must subtend more than one pixel at this resolution.
+    mesh = box_mesh((50, 0, 0), (10, 10, 10))
+    raster = CubeMapRasterizer([mesh], resolution=16)
+    buffers = raster.render_item_buffer((0.0, 0.0, 0.0))
+    # Object strictly along +x: the -x face must be empty.
+    assert (buffers[1] == EMPTY).all()
+    # The +x face must contain some pixels of object row 0.
+    assert (buffers[0] == 0).any()
+
+
+def test_sphere_dov_matches_analytic():
+    sphere = icosphere(radius=2.0, subdivisions=3, center=(10, 0, 0))
+    raster = CubeMapRasterizer([sphere], resolution=48)
+    dov = raster.dov_from_viewpoint((0, 0, 0))[0]
+    analytic = sphere_solid_angle(10.0, 2.0) / FULL_SPHERE
+    assert dov == pytest.approx(analytic, rel=0.08)
+
+
+def test_matches_exact_ray_caster():
+    """Rasterizer and triangle ray caster sample the same pixel-center
+    directions, so their DoVs agree closely."""
+    meshes = [box_mesh((12, 0, 0), (3, 3, 3)),
+              box_mesh((0, 15, 0), (4, 4, 4)),
+              icosphere(radius=2.0, subdivisions=2, center=(-10, -2, 1))]
+    raster = CubeMapRasterizer(meshes, resolution=24)
+    exact = MeshDoVEstimator(meshes, resolution=24)
+    viewpoint = (0.0, 0.0, 0.5)
+    a = raster.dov_from_viewpoint(viewpoint)
+    b = exact.dov_from_viewpoint(viewpoint)
+    assert set(a) == set(b)
+    for oid in a:
+        assert a[oid] == pytest.approx(b[oid], rel=0.1, abs=2e-3)
+
+
+def test_occlusion_in_item_buffer():
+    wall = box_mesh((5, 0, 0), (1, 30, 30))
+    hidden = box_mesh((15, 0, 0), (2, 2, 2))
+    raster = CubeMapRasterizer([wall, hidden], resolution=24)
+    dov = raster.dov_from_viewpoint((0, 0, 0))
+    assert 0 in dov
+    assert 1 not in dov
+
+
+def test_partial_occlusion_ordering():
+    front = box_mesh((8, 0, 0), (2, 3, 3))
+    back = box_mesh((16, 0, 0), (2, 12, 12))
+    raster = CubeMapRasterizer([front, back], resolution=32)
+    dov = raster.dov_from_viewpoint((0, 0, 0))
+    alone = CubeMapRasterizer([back], resolution=32) \
+        .dov_from_viewpoint((0, 0, 0))[0]
+    assert 0 < dov[1] < alone            # partially blocked
+    assert dov[0] > 0
+
+
+def test_agrees_with_aabb_caster_for_boxes():
+    meshes = [box_mesh((12, 3, 0), (4, 4, 4)),
+              box_mesh((-9, 0, 2), (3, 5, 2))]
+    raster = CubeMapRasterizer(meshes, resolution=32)
+    boxes = RayCastDoVEstimator(pack_aabbs([m.aabb() for m in meshes]),
+                                resolution=32)
+    viewpoint = (0.0, 0.0, 0.0)
+    a = raster.dov_from_viewpoint(viewpoint)
+    b = boxes.dov_from_viewpoint(viewpoint)
+    assert set(a) == set(b)
+    for oid in a:
+        assert a[oid] == pytest.approx(b[oid], rel=0.05, abs=1e-3)
+
+
+def test_custom_object_ids():
+    raster = CubeMapRasterizer([box_mesh((8, 0, 0), (2, 2, 2))],
+                               object_ids=[77], resolution=8)
+    assert set(raster.dov_from_viewpoint((0, 0, 0))) == {77}
+
+
+def test_total_coverage_bounded():
+    rng = np.random.default_rng(4)
+    meshes = []
+    for _ in range(12):
+        center = rng.uniform(-30, 30, 3)
+        meshes.append(box_mesh(center, rng.uniform(1, 6, 3)))
+    raster = CubeMapRasterizer(meshes, resolution=16)
+    dov = raster.dov_from_viewpoint((0, 0, 0))
+    assert 0 < sum(dov.values()) <= 1.0 + 1e-9

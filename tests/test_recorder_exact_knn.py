@@ -1,0 +1,170 @@
+"""Session recorder, mesh-exact DoV validator, and kNN queries."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import RTreeError, VisibilityError, WalkthroughError
+from repro.geometry.aabb import AABB, pack_aabbs
+from repro.geometry.primitives import box_mesh, icosphere
+from repro.rtree.knn import knn_query, nearest_object
+from repro.rtree.tree import RTree
+from repro.visibility.exact import MeshDoVEstimator
+from repro.visibility.raycast import RayCastDoVEstimator
+from repro.walkthrough.recorder import (load_session, save_session,
+                                        session_from_dict, session_to_dict)
+from repro.walkthrough.session import make_session
+
+
+# -- recorder ----------------------------------------------------------------
+
+@pytest.fixture()
+def session(small_scene):
+    return make_session(2, small_scene.bounds(), num_frames=20,
+                        street_pitch=120.0)
+
+
+def test_session_roundtrip(session, tmp_path):
+    path = str(tmp_path / "session.json")
+    save_session(session, path)
+    loaded = load_session(path)
+    assert loaded.name == session.name
+    assert loaded.num_frames == session.num_frames
+    for a, b in zip(loaded, session):
+        assert a.position == pytest.approx(b.position)
+        assert a.direction == pytest.approx(b.direction)
+
+
+def test_session_dict_roundtrip(session):
+    assert session_from_dict(session_to_dict(session)).name == session.name
+
+
+def test_session_bad_version(session):
+    data = session_to_dict(session)
+    data["version"] = 99
+    with pytest.raises(WalkthroughError):
+        session_from_dict(data)
+
+
+def test_session_bad_frames(session):
+    data = session_to_dict(session)
+    data["frames"] = [{"position": [1, 2]}]
+    with pytest.raises(WalkthroughError):
+        session_from_dict(data)
+    data["frames"] = []
+    with pytest.raises(WalkthroughError):
+        session_from_dict(data)
+
+
+def test_session_corrupt_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(WalkthroughError):
+        load_session(str(path))
+
+
+def test_replay_identical_across_loads(session, tmp_path, small_env):
+    """The paper's methodology: a recorded session replays identically."""
+    from repro.walkthrough.visual import VisualSystem
+    path = str(tmp_path / "s.json")
+    save_session(session, path)
+    loaded = load_session(path)
+    run_a = VisualSystem(small_env, eta=0.002,
+                         evaluate_fidelity=False).run(session)
+    run_b = VisualSystem(small_env, eta=0.002,
+                         evaluate_fidelity=False).run(loaded)
+    # Compare the state-independent outputs: same cells visited, same
+    # polygons rendered per frame.  (Simulated times vary with disk-head
+    # positions carried across runs of the shared environment.)
+    assert [f.cell_id for f in run_a.frames] == \
+        [f.cell_id for f in run_b.frames]
+    assert [f.polygons for f in run_a.frames] == \
+        [f.polygons for f in run_b.frames]
+
+
+# -- mesh-exact DoV vs AABB DoV --------------------------------------------
+
+def test_exact_matches_boxes_for_box_meshes():
+    """For box-shaped objects the AABB estimator *is* exact."""
+    centers = [(15, 0, 0), (0, 20, 0), (-25, 0, 0)]
+    meshes = [box_mesh(c, (4, 4, 4)) for c in centers]
+    boxes = pack_aabbs([m.aabb() for m in meshes])
+    approx = RayCastDoVEstimator(boxes, resolution=16)
+    exact = MeshDoVEstimator(meshes, resolution=16)
+    viewpoint = (0, 0, 0)
+    a = approx.dov_from_viewpoint(viewpoint)
+    e = exact.dov_from_viewpoint(viewpoint)
+    assert set(a) == set(e)
+    for oid in a:
+        assert a[oid] == pytest.approx(e[oid], rel=1e-6)
+
+
+def test_box_estimate_is_conservative_for_spheres():
+    """A sphere's box over-estimates its DoV (never under-estimates)."""
+    sphere = icosphere(radius=2.0, subdivisions=3, center=(12, 0, 0))
+    approx = RayCastDoVEstimator(pack_aabbs([sphere.aabb()]),
+                                 resolution=24)
+    exact = MeshDoVEstimator([sphere], resolution=24)
+    a = approx.dov_from_viewpoint((0, 0, 0))[0]
+    e = exact.dov_from_viewpoint((0, 0, 0))[0]
+    assert a >= e > 0.0
+
+
+def test_exact_occlusion():
+    wall = box_mesh((5, 0, 0), (1, 20, 20))
+    hidden = box_mesh((15, 0, 0), (2, 2, 2))
+    exact = MeshDoVEstimator([wall, hidden], resolution=16)
+    dov = exact.dov_from_viewpoint((0, 0, 0))
+    assert 0 in dov
+    assert 1 not in dov
+
+
+def test_exact_estimator_validation():
+    with pytest.raises(VisibilityError):
+        MeshDoVEstimator([])
+    with pytest.raises(VisibilityError):
+        MeshDoVEstimator([box_mesh((0, 0, 0), (1, 1, 1))], object_ids=[1, 2])
+
+
+# -- kNN -------------------------------------------------------------------
+
+def make_tree(positions):
+    tree = RTree(max_entries=4)
+    for i, pos in enumerate(positions):
+        tree.insert(AABB.from_center_extent(pos, (1, 1, 1)), i)
+    return tree
+
+
+def test_knn_orders_by_distance():
+    positions = [(10, 0, 0), (20, 0, 0), (5, 0, 0), (40, 0, 0)]
+    tree = make_tree(positions)
+    result = knn_query(tree, (0, 0, 0), 3)
+    assert [oid for oid, _d in result] == [2, 0, 1]
+    distances = [d for _oid, d in result]
+    assert distances == sorted(distances)
+    assert distances[0] == pytest.approx(4.5)   # box half-extent 0.5
+
+
+def test_knn_matches_brute_force():
+    rng = np.random.default_rng(3)
+    positions = [tuple(rng.uniform(-50, 50, 3)) for _ in range(80)]
+    tree = make_tree(positions)
+    point = (5.0, -3.0, 2.0)
+    result = knn_query(tree, point, 10)
+    boxes = [AABB.from_center_extent(p, (1, 1, 1)) for p in positions]
+    brute = sorted(range(80),
+                   key=lambda i: boxes[i].min_distance_to_point(point))
+    assert [oid for oid, _d in result] == brute[:10]
+
+
+def test_knn_k_larger_than_tree():
+    tree = make_tree([(0, 0, 0), (5, 0, 0)])
+    assert len(knn_query(tree, (0, 0, 0), 10)) == 2
+
+
+def test_knn_validation():
+    tree = make_tree([(0, 0, 0)])
+    with pytest.raises(RTreeError):
+        knn_query(tree, (0, 0, 0), 0)
+    assert nearest_object(tree, (9, 0, 0))[0] == 0

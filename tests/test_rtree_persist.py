@@ -1,0 +1,94 @@
+"""NodeStore persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import RTreeError
+from repro.geometry.aabb import AABB
+from repro.rtree.bulk import str_bulk_load
+from repro.rtree.persist import KIND_INTERNAL, KIND_LEAF, NodeStore
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.storage.serializer import NIL
+
+
+def random_items(n, seed=0):
+    rng = np.random.default_rng(seed)
+    items = []
+    for i in range(n):
+        lo = rng.uniform(0, 100, 3)
+        items.append((AABB(lo, lo + rng.uniform(0.5, 5, 3)), i))
+    return items
+
+
+@pytest.fixture()
+def store_and_tree():
+    tree = str_bulk_load(random_items(60, seed=1), max_entries=5)
+    pf = PagedFile("nodes", disk=DiskModel(), stats=IOStats())
+    store = NodeStore(pf)
+    store.write_tree(tree, lod_pointers={i: 1000 + i for i in range(60)})
+    return store, tree
+
+
+def test_offsets_are_dfs_preorder(store_and_tree):
+    store, tree = store_and_tree
+    offsets = [n.node_offset for n in tree.iter_nodes_dfs()]
+    assert offsets == list(range(store.num_nodes))
+    assert tree.root.node_offset == 0
+
+
+def test_roundtrip_preserves_structure(store_and_tree):
+    store, tree = store_and_tree
+    for node in tree.iter_nodes_dfs():
+        persisted = store.read_node(node.node_offset)
+        assert persisted.is_leaf == node.is_leaf
+        assert persisted.level == node.level
+        assert len(persisted.entries) == node.num_entries
+        for entry, (mbr, target, lod_ptr) in zip(node.entries,
+                                                 persisted.entries):
+            assert np.allclose(mbr.lo, entry.mbr.lo, rtol=1e-5, atol=1e-3)
+            if entry.is_leaf_entry:
+                assert target == entry.object_id
+                assert lod_ptr == 1000 + entry.object_id
+            else:
+                assert target == entry.child.node_offset
+                assert lod_ptr == NIL
+
+
+def test_read_charges_one_page(store_and_tree):
+    store, _tree = store_and_tree
+    store.pfile.stats.reset()
+    store.read_node(0)
+    assert store.pfile.stats.reads == 1
+
+
+def test_read_root(store_and_tree):
+    store, tree = store_and_tree
+    root = store.read_root()
+    assert root.node_offset == 0
+    assert root.kind == (KIND_LEAF if tree.root.is_leaf else KIND_INTERNAL)
+
+
+def test_unknown_offset_rejected(store_and_tree):
+    store, _tree = store_and_tree
+    with pytest.raises(RTreeError):
+        store.read_node(10_000)
+
+
+def test_unwritten_store_rejects_root():
+    pf = PagedFile("empty", disk=DiskModel(), stats=IOStats())
+    with pytest.raises(RTreeError):
+        NodeStore(pf).read_root()
+
+
+def test_children_reachable_by_offset(store_and_tree):
+    store, _tree = store_and_tree
+    seen = set()
+    stack = [0]
+    while stack:
+        offset = stack.pop()
+        seen.add(offset)
+        node = store.read_node(offset)
+        if not node.is_leaf:
+            stack.extend(target for _mbr, target, _ptr in node.entries)
+    assert seen == set(range(store.num_nodes))

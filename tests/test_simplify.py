@@ -1,0 +1,92 @@
+"""Mesh simplification: QEM and vertex clustering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import box_mesh, bunny_blob, icosphere
+from repro.simplify.clustering import simplify_clustering
+from repro.simplify.qem import simplify_qem
+
+
+@pytest.mark.parametrize("simplify", [simplify_qem, simplify_clustering],
+                         ids=["qem", "clustering"])
+class TestSimplifiers:
+    def test_respects_target(self, simplify):
+        sphere = icosphere(subdivisions=2)          # 320 faces
+        out = simplify(sphere, 80)
+        assert 0 < out.num_faces <= 80
+
+    def test_noop_when_under_target(self, simplify):
+        box = box_mesh((0, 0, 0), (1, 1, 1))
+        out = simplify(box, 50)
+        assert out is box
+
+    def test_invalid_target(self, simplify):
+        with pytest.raises(GeometryError):
+            simplify(icosphere(subdivisions=1), 0)
+
+    def test_output_within_inflated_input_bounds(self, simplify):
+        sphere = icosphere(subdivisions=2, radius=3.0, center=(5, 5, 5))
+        out = simplify(sphere, 40)
+        margin = sphere.aabb().diagonal * 0.05 + 1e-9
+        assert sphere.aabb().inflated(margin).contains(out.aabb())
+
+    def test_no_degenerate_faces(self, simplify):
+        out = simplify(icosphere(subdivisions=2), 60)
+        assert np.all(out.face_areas() > 0)
+
+    def test_surface_area_roughly_preserved(self, simplify):
+        sphere = icosphere(subdivisions=3)
+        out = simplify(sphere, 150)
+        assert out.surface_area() == pytest.approx(sphere.surface_area(),
+                                                   rel=0.35)
+
+    def test_deterministic(self, simplify):
+        blob = bunny_blob(subdivisions=2, seed=3)
+        a = simplify(blob, 70)
+        b = simplify(blob, 70)
+        assert a.num_faces == b.num_faces
+        assert np.allclose(a.vertices, b.vertices)
+
+
+def test_qem_extreme_target_returns_proxy_not_empty():
+    sphere = icosphere(subdivisions=1)
+    out = simplify_qem(sphere, 1)
+    assert out.num_faces >= 1
+
+
+def test_clustering_extreme_target_returns_proxy_not_empty():
+    sphere = icosphere(subdivisions=1)
+    out = simplify_clustering(sphere, 1)
+    assert 1 <= out.num_faces <= 1
+
+
+def test_qem_preserves_planar_patch_exactly():
+    """Contracting edges of a flat grid keeps vertices in the plane."""
+    n = 5
+    xs, ys = np.meshgrid(np.arange(n, dtype=float),
+                         np.arange(n, dtype=float))
+    verts = np.stack([xs.ravel(), ys.ravel(), np.zeros(n * n)], axis=1)
+    faces = []
+    for i in range(n - 1):
+        for j in range(n - 1):
+            a = i * n + j
+            faces.append((a, a + 1, a + n))
+            faces.append((a + 1, a + n + 1, a + n))
+    from repro.geometry.mesh import TriangleMesh
+    grid = TriangleMesh(verts, np.array(faces))
+    out = simplify_qem(grid, 8)
+    assert out.num_faces <= 8
+    assert np.allclose(out.vertices[:, 2], 0.0, atol=1e-6)
+
+
+@given(sub=st.integers(min_value=1, max_value=2),
+       ratio=st.floats(min_value=0.05, max_value=0.9))
+@settings(max_examples=10, deadline=None)
+def test_clustering_target_property(sub, ratio):
+    sphere = icosphere(subdivisions=sub)
+    target = max(int(sphere.num_faces * ratio), 1)
+    out = simplify_clustering(sphere, target)
+    assert 1 <= out.num_faces <= target

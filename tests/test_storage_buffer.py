@@ -1,0 +1,121 @@
+"""Buffer pool tests: LRU order, pinning, write-back."""
+
+import pytest
+
+from repro.errors import BufferPoolError
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+
+
+@pytest.fixture()
+def pfile():
+    pf = PagedFile("buf", page_size=64, disk=DiskModel(), stats=IOStats())
+    for i in range(10):
+        pf.append_page(bytes([i]) * 8)
+    pf.stats.reset()
+    return pf
+
+
+def test_hit_and_miss_counting(pfile):
+    pool = BufferPool(capacity=4)
+    pool.get(pfile, 0)
+    pool.get(pfile, 0)
+    assert pool.hits == 1
+    assert pool.misses == 1
+    assert pfile.stats.reads == 1        # second access served from pool
+
+
+def test_lru_eviction_order(pfile):
+    pool = BufferPool(capacity=2)
+    pool.get(pfile, 0)
+    pool.get(pfile, 1)
+    pool.get(pfile, 0)      # page 0 is now most recent
+    pool.get(pfile, 2)      # evicts page 1 (least recent)
+    assert pool.contains(pfile, 0)
+    assert not pool.contains(pfile, 1)
+    assert pool.contains(pfile, 2)
+    assert pool.evictions == 1
+
+
+def test_pinned_pages_survive_eviction(pfile):
+    pool = BufferPool(capacity=2)
+    pool.get(pfile, 0, pin=True)
+    pool.get(pfile, 1)
+    pool.get(pfile, 2)       # must evict page 1, not pinned page 0
+    assert pool.contains(pfile, 0)
+    pool.unpin(pfile, 0)
+
+
+def test_all_pinned_raises(pfile):
+    pool = BufferPool(capacity=2)
+    pool.get(pfile, 0, pin=True)
+    pool.get(pfile, 1, pin=True)
+    with pytest.raises(BufferPoolError):
+        pool.get(pfile, 2)
+
+
+def test_unpin_underflow(pfile):
+    pool = BufferPool(capacity=2)
+    pool.get(pfile, 0)
+    with pytest.raises(BufferPoolError):
+        pool.unpin(pfile, 0)
+
+
+def test_put_and_writeback_on_eviction(pfile):
+    pool = BufferPool(capacity=1)
+    pool.put(pfile, 3, b"dirty")
+    pool.get(pfile, 4)       # evicts dirty page 3 -> write-back
+    assert pfile.read_page(3).startswith(b"dirty")
+
+
+def test_read_your_writes(pfile):
+    pool = BufferPool(capacity=2)
+    pool.put(pfile, 5, b"fresh")
+    assert pool.get(pfile, 5).startswith(b"fresh")
+    # Underlying file not yet updated until flush/eviction.
+    assert pfile.read_page(5)[0] == 5
+
+
+def test_flush_writes_dirty_frames(pfile):
+    pool = BufferPool(capacity=4)
+    pool.put(pfile, 6, b"flushed")
+    pool.flush()
+    assert pfile.read_page(6).startswith(b"flushed")
+    # Frame stays resident after flush.
+    assert pool.contains(pfile, 6)
+
+
+def test_clear_rejects_pinned(pfile):
+    pool = BufferPool(capacity=2)
+    pool.get(pfile, 0, pin=True)
+    with pytest.raises(BufferPoolError):
+        pool.clear()
+    pool.unpin(pfile, 0)
+    pool.clear()
+    assert pool.resident_pages == 0
+
+
+def test_capacity_validation():
+    with pytest.raises(BufferPoolError):
+        BufferPool(capacity=0)
+
+
+def test_hit_rate(pfile):
+    pool = BufferPool(capacity=4)
+    assert pool.hit_rate == 0.0
+    pool.get(pfile, 0)
+    pool.get(pfile, 0)
+    pool.get(pfile, 0)
+    assert pool.hit_rate == pytest.approx(2 / 3)
+
+
+def test_two_files_one_pool(pfile):
+    other = PagedFile("other", page_size=64, disk=DiskModel(),
+                      stats=IOStats())
+    other.append_page(b"zz")
+    pool = BufferPool(capacity=4)
+    a = pool.get(pfile, 0)
+    b = pool.get(other, 0)
+    assert a != b
+    assert pool.misses == 2

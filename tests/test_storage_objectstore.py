@@ -1,0 +1,105 @@
+"""Blob object store tests."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.objectstore import ObjectStore
+from repro.storage.pagedfile import PagedFile
+
+
+def make_store(scale=1.0, page_size=256):
+    pf = PagedFile("blobs", page_size=page_size,
+                   disk=DiskModel(seek_ms=10.0, transfer_ms=1.0,
+                                  readahead_pages=1),
+                   stats=IOStats())
+    return ObjectStore(pf, scale=scale)
+
+
+def test_put_and_fetch_counts_pages():
+    store = make_store()
+    ref = store.put(1000)          # 1000 bytes / 256 page -> 4 pages
+    assert ref.num_pages == 4
+    store.pfile.stats.reset()
+    store.fetch(ref.blob_id)
+    assert store.pfile.stats.reads == 4
+    assert store.pfile.stats.seeks == 1
+    assert store.pfile.stats.sequential_reads == 3
+
+
+def test_zero_byte_blob_occupies_one_page():
+    store = make_store()
+    ref = store.put(0)
+    assert ref.num_pages == 1
+
+
+def test_scale_shrinks_physical_size():
+    store = make_store(scale=0.1)
+    ref = store.put(10000)          # 1000 physical -> 4 pages
+    assert ref.num_pages == 4
+    assert ref.logical_bytes == 10000
+
+
+def test_fetch_prefix_costs_proportional_pages():
+    store = make_store()
+    ref = store.put(2560)           # 10 pages
+    assert ref.num_pages == 10
+    store.pfile.stats.reset()
+    pages = store.fetch_prefix(ref.blob_id, 512)
+    assert pages == 2
+    assert store.pfile.stats.reads == 2
+
+
+def test_fetch_prefix_clamps_to_blob():
+    store = make_store()
+    ref = store.put(256)
+    pages = store.fetch_prefix(ref.blob_id, 10 ** 6)
+    assert pages == ref.num_pages
+
+
+def test_fetch_prefix_minimum_one_page():
+    store = make_store()
+    ref = store.put(1000)
+    assert store.fetch_prefix(ref.blob_id, 1) == 1
+
+
+def test_unknown_blob():
+    store = make_store()
+    with pytest.raises(StorageError):
+        store.fetch(99)
+
+
+def test_invalid_args():
+    with pytest.raises(StorageError):
+        make_store(scale=0.0)
+    store = make_store()
+    with pytest.raises(StorageError):
+        store.put(-1)
+    ref = store.put(10)
+    with pytest.raises(StorageError):
+        store.fetch_prefix(ref.blob_id, -5)
+
+
+def test_totals():
+    store = make_store()
+    store.put(100)
+    store.put(300)
+    assert store.num_blobs == 2
+    assert store.logical_bytes_total == 400
+    # 100 B -> 1 page, 300 B -> 2 pages.
+    assert store.physical_bytes_total == 3 * 256
+
+
+def test_payload_roundtrip():
+    store = make_store()
+    payload = bytes(range(200)) * 3
+    ref = store.put(len(payload), payload=payload)
+    data = store.fetch(ref.blob_id)
+    assert data[:len(payload)] == payload
+
+
+def test_blobs_allocated_contiguously():
+    store = make_store()
+    a = store.put(256)
+    b = store.put(256)
+    assert b.first_page == a.first_page + a.num_pages

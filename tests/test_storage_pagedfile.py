@@ -1,0 +1,153 @@
+"""PagedFile and disk model tests."""
+
+import os
+
+import pytest
+
+from repro.errors import PageNotFoundError, StorageError
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+
+
+def make_file(**kwargs):
+    return PagedFile("test", page_size=256,
+                     disk=DiskModel(seek_ms=10.0, transfer_ms=1.0,
+                                    readahead_pages=1),
+                     stats=IOStats(), **kwargs)
+
+
+def test_allocate_and_roundtrip():
+    pf = make_file()
+    pid = pf.allocate()
+    pf.write_page(pid, b"hello")
+    data = pf.read_page(pid)
+    assert data.startswith(b"hello")
+    assert len(data) == 256
+
+
+def test_append_page():
+    pf = make_file()
+    pid = pf.append_page(b"abc")
+    assert pf.read_page(pid).startswith(b"abc")
+    assert pf.num_pages == 1
+
+
+def test_read_unallocated_page_raises():
+    pf = make_file()
+    with pytest.raises(PageNotFoundError):
+        pf.read_page(0)
+
+
+def test_oversized_write_rejected():
+    pf = make_file()
+    pid = pf.allocate()
+    with pytest.raises(StorageError):
+        pf.write_page(pid, bytes(257))
+
+
+def test_allocate_many_contiguous():
+    pf = make_file()
+    first = pf.allocate_many(5)
+    assert first == 0
+    assert pf.num_pages == 5
+    with pytest.raises(StorageError):
+        pf.allocate_many(0)
+
+
+def test_io_accounting_and_sequentiality():
+    pf = make_file()
+    pf.allocate_many(10)
+    pf.stats.reset()
+    pf.read_page(0)                    # cold: seek
+    pf.read_page(1)                    # sequential
+    pf.read_page(2)                    # sequential
+    pf.read_page(9)                    # jump: seek
+    assert pf.stats.reads == 4
+    assert pf.stats.seeks == 2
+    assert pf.stats.sequential_reads == 2
+    assert pf.stats.simulated_ms == pytest.approx(2 * 11.0 + 2 * 1.0)
+
+
+def test_backward_jump_is_seek():
+    pf = make_file()
+    pf.allocate_many(5)
+    pf.stats.reset()
+    pf.read_page(4)
+    pf.read_page(3)
+    assert pf.stats.seeks == 2
+
+
+def test_readahead_window_counts_short_skips_as_sequential():
+    pf = PagedFile("ra", page_size=256,
+                   disk=DiskModel(seek_ms=10.0, transfer_ms=1.0,
+                                  readahead_pages=4),
+                   stats=IOStats())
+    pf.allocate_many(20)
+    pf.stats.reset()
+    pf.read_page(0)     # seek
+    pf.read_page(3)     # skip of 3 <= window: sequential
+    pf.read_page(8)     # skip of 5 > window: seek
+    assert pf.stats.seeks == 2
+    assert pf.stats.sequential_reads == 1
+
+
+def test_reset_head_forces_seek():
+    pf = make_file()
+    pf.allocate_many(3)
+    pf.stats.reset()
+    pf.read_page(0)
+    pf.reset_head()
+    pf.read_page(1)     # would be sequential without the reset
+    assert pf.stats.seeks == 2
+
+
+def test_read_run_sequential_after_first():
+    pf = make_file()
+    pf.allocate_many(6)
+    for i in range(6):
+        pf.write_page(i, bytes([i]) * 10)
+    pf.stats.reset()
+    data = pf.read_run(2, 3)
+    assert len(data) == 3 * 256
+    assert data[0] == 2
+    assert pf.stats.seeks == 1
+    assert pf.stats.sequential_reads == 2
+
+
+def test_write_counts():
+    pf = make_file()
+    pid = pf.allocate()
+    pf.stats.reset()
+    pf.write_page(pid, b"x")
+    assert pf.stats.writes == 1
+    assert pf.stats.bytes_written == 256
+
+
+def test_closed_file_rejects_access():
+    pf = make_file()
+    pid = pf.allocate()
+    pf.close()
+    with pytest.raises(StorageError):
+        pf.read_page(pid)
+
+
+def test_disk_backed_file_roundtrip(tmp_path):
+    path = os.path.join(tmp_path, "pages.bin")
+    with PagedFile("disk", page_size=128, path=path) as pf:
+        pid = pf.append_page(b"persisted")
+    with PagedFile("disk", page_size=128, path=path) as pf2:
+        assert pf2.num_pages == 1
+        assert pf2.read_page(pid).startswith(b"persisted")
+
+
+def test_iostats_delta():
+    stats = IOStats()
+    disk = DiskModel()
+    disk.charge(stats, write=False, sequential=False, nbytes=100)
+    snap = stats.snapshot()
+    disk.charge(stats, write=True, sequential=True, nbytes=50)
+    delta = stats.delta(snap)
+    assert delta.reads == 0
+    assert delta.writes == 1
+    assert delta.bytes_written == 50
+    assert delta.simulated_ms == pytest.approx(disk.transfer_ms)

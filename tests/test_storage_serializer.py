@@ -1,0 +1,112 @@
+"""Serializer round-trip tests, including property-based ones."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.constants import PAGE_SIZE
+from repro.errors import SerializationError
+from repro.geometry.aabb import AABB
+from repro.storage import serializer as ser
+
+
+def box(lo, hi):
+    return AABB(np.asarray(lo, float), np.asarray(hi, float))
+
+
+def test_mbr_roundtrip():
+    original = box((0.5, -2.0, 3.0), (1.5, 0.0, 9.0))
+    decoded = ser.decode_mbr(ser.encode_mbr(original))
+    assert np.allclose(decoded.lo, original.lo, atol=1e-6)
+    assert np.allclose(decoded.hi, original.hi, atol=1e-6)
+
+
+def test_node_roundtrip():
+    entries = [(box((0, 0, 0), (1, 1, 1)), 7, 99),
+               (box((2, 2, 2), (3, 3, 3)), 8, ser.NIL)]
+    data = ser.encode_node(1, 2, 42, entries, PAGE_SIZE)
+    kind, level, offset, decoded = ser.decode_node(data)
+    assert (kind, level, offset) == (1, 2, 42)
+    assert len(decoded) == 2
+    assert decoded[0][1] == 7
+    assert decoded[0][2] == 99
+    assert decoded[1][2] == ser.NIL
+    assert np.allclose(decoded[1][0].lo, (2, 2, 2), atol=1e-6)
+
+
+def test_node_overflow_rejected():
+    entries = [(box((0, 0, 0), (1, 1, 1)), 0, 0)] * 200
+    with pytest.raises(SerializationError):
+        ser.encode_node(0, 0, 0, entries, 256)
+
+
+def test_node_truncated_rejected():
+    with pytest.raises(SerializationError):
+        ser.decode_node(b"\x00")
+
+
+def test_vpage_roundtrip():
+    ventries = [(0.25, 3), (0.0, 0), (1.0, 17)]
+    data = ser.encode_vpage(5, ventries, PAGE_SIZE)
+    offset, decoded = ser.decode_vpage(data)
+    assert offset == 5
+    assert decoded[1] == (0.0, 0)
+    assert decoded[2][1] == 17
+    assert decoded[0][0] == pytest.approx(0.25)
+
+
+def test_vpage_rejects_bad_dov():
+    with pytest.raises(SerializationError):
+        ser.encode_vpage(0, [(1.5, 1)], PAGE_SIZE)
+    with pytest.raises(SerializationError):
+        ser.encode_vpage(0, [(-0.1, 1)], PAGE_SIZE)
+
+
+def test_index_pairs_roundtrip():
+    pairs = [(0, 10), (5, 20), (9, ser.NIL)]
+    data = ser.encode_index_pairs(pairs)
+    assert ser.decode_index_pairs(data, 3) == pairs
+    with pytest.raises(SerializationError):
+        ser.decode_index_pairs(data, 10)
+
+
+def test_pointer_array_roundtrip():
+    pointers = [1, ser.NIL, 3, 0]
+    data = ser.encode_pointer_array(pointers)
+    assert ser.decode_pointer_array(data, 4) == pointers
+    with pytest.raises(SerializationError):
+        ser.decode_pointer_array(data, 8)
+
+
+finite = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+@given(st.lists(st.tuples(
+    st.tuples(finite, finite, finite),
+    st.tuples(finite, finite, finite),
+    st.integers(0, 2 ** 32 - 1),
+    st.integers(0, 2 ** 32 - 1)), min_size=0, max_size=20))
+def test_node_roundtrip_property(raw_entries):
+    entries = []
+    for a, b, child, ptr in raw_entries:
+        lo = np.minimum(a, b)
+        hi = np.maximum(a, b)
+        entries.append((AABB(lo, hi), child, ptr))
+    data = ser.encode_node(0, 3, 11, entries, PAGE_SIZE)
+    _kind, _level, _offset, decoded = ser.decode_node(data)
+    assert len(decoded) == len(entries)
+    for (mbr, child, ptr), (dmbr, dchild, dptr) in zip(entries, decoded):
+        assert dchild == child
+        assert dptr == ptr
+        assert np.allclose(dmbr.lo, mbr.lo, rtol=1e-5, atol=1e-2)
+
+
+@given(st.lists(st.tuples(st.floats(0.0, 1.0), st.integers(0, 10 ** 6)),
+                min_size=0, max_size=50))
+def test_vpage_roundtrip_property(ventries):
+    data = ser.encode_vpage(1, ventries, PAGE_SIZE)
+    _offset, decoded = ser.decode_vpage(data)
+    assert len(decoded) == len(ventries)
+    for (dov, nvo), (ddov, dnvo) in zip(ventries, decoded):
+        assert dnvo == nvo
+        assert ddov == pytest.approx(dov, abs=1e-6)

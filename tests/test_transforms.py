@@ -1,0 +1,93 @@
+"""Rotation/transform helper tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.primitives import box_mesh
+from repro.geometry.transforms import (direction_to_heading,
+                                       heading_to_direction, is_rotation,
+                                       look_at_direction, rotate_mesh,
+                                       rotation_about_axis, rotation_about_z)
+
+angles = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+def test_rotation_about_z_quarter_turn():
+    rot = rotation_about_z(np.pi / 2)
+    assert np.allclose(rot @ np.array([1.0, 0.0, 0.0]),
+                       [0.0, 1.0, 0.0], atol=1e-12)
+    assert np.allclose(rot @ np.array([0.0, 0.0, 1.0]),
+                       [0.0, 0.0, 1.0])
+
+
+@given(angles)
+def test_rotation_about_z_is_rotation(angle):
+    assert is_rotation(rotation_about_z(angle), tol=1e-9)
+
+
+@given(angles)
+@settings(max_examples=30)
+def test_rotation_about_axis_matches_z_special_case(angle):
+    general = rotation_about_axis((0, 0, 1), angle)
+    assert np.allclose(general, rotation_about_z(angle), atol=1e-12)
+
+
+@given(angles, st.tuples(st.floats(-1, 1), st.floats(-1, 1),
+                         st.floats(-1, 1)).filter(
+    lambda a: np.linalg.norm(a) > 1e-3))
+@settings(max_examples=30)
+def test_rotation_about_axis_preserves_axis(angle, axis):
+    rot = rotation_about_axis(axis, angle)
+    unit = np.asarray(axis) / np.linalg.norm(axis)
+    assert np.allclose(rot @ unit, unit, atol=1e-9)
+    assert is_rotation(rot, tol=1e-8)
+
+
+def test_look_at_direction():
+    d = look_at_direction((0, 0, 0), (3, 4, 0))
+    assert np.allclose(d, [0.6, 0.8, 0.0])
+    with pytest.raises(GeometryError):
+        look_at_direction((1, 1, 1), (1, 1, 1))
+
+
+@given(st.floats(min_value=-np.pi + 1e-6, max_value=np.pi - 1e-6))
+def test_heading_roundtrip(heading):
+    assert direction_to_heading(heading_to_direction(heading)) == \
+        pytest.approx(heading, abs=1e-9)
+
+
+def test_vertical_direction_has_no_heading():
+    with pytest.raises(GeometryError):
+        direction_to_heading((0, 0, 1))
+
+
+def test_rotate_mesh_about_own_center_preserves_center():
+    mesh = box_mesh((5, 5, 5), (2, 4, 6))
+    rotated = rotate_mesh(mesh, rotation_about_z(0.7))
+    assert np.allclose(rotated.aabb().center, mesh.aabb().center,
+                       atol=1e-9)
+    # Rigid: all pairwise distances preserved (spot check one edge).
+    d_before = np.linalg.norm(mesh.vertices[0] - mesh.vertices[7])
+    d_after = np.linalg.norm(rotated.vertices[0] - rotated.vertices[7])
+    assert d_after == pytest.approx(d_before)
+
+
+def test_rotate_mesh_about_external_pivot():
+    mesh = box_mesh((1, 0, 0), (1, 1, 1))
+    rotated = rotate_mesh(mesh, rotation_about_z(np.pi), center=(0, 0, 0))
+    assert np.allclose(rotated.aabb().center, [-1, 0, 0], atol=1e-9)
+
+
+def test_rotate_mesh_bad_matrix():
+    mesh = box_mesh((0, 0, 0), (1, 1, 1))
+    with pytest.raises(GeometryError):
+        rotate_mesh(mesh, np.eye(4))
+
+
+def test_is_rotation_rejects_scaling_and_reflection():
+    assert not is_rotation(2.0 * np.eye(3))
+    reflection = np.diag([1.0, 1.0, -1.0])
+    assert not is_rotation(reflection)
+    assert is_rotation(np.eye(3))
