@@ -6,14 +6,18 @@ Usage::
     python -m repro run table2 [--scale small|medium|large]
     python -m repro run fig7 fig8 table3
     python -m repro run all --scale small
+    python -m repro profile [--scale small] [--session 1] [--eta 0.001]
 
-Each experiment prints the same rows/series the paper reports (see
-EXPERIMENTS.md for the paper-vs-measured comparison).
+``run`` prints the same rows/series the paper reports (see
+EXPERIMENTS.md for the paper-vs-measured comparison); ``profile`` runs
+one instrumented walkthrough and emits a JSON report of where the
+simulated milliseconds and page I/Os go (see README, "Profiling").
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict
@@ -84,6 +88,26 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--scale", default="medium",
                      choices=["small", "medium", "large"],
                      help="environment scale (default: medium)")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run an instrumented walkthrough; emit a JSON I/O report")
+    profile.add_argument("--scale", default="small",
+                         choices=["small", "medium", "large"],
+                         help="environment scale (default: small)")
+    profile.add_argument("--session", type=int, default=1,
+                         choices=[1, 2, 3],
+                         help="motion pattern (default: 1, normal walk)")
+    profile.add_argument("--eta", type=float, default=0.001,
+                         help="DoV threshold (default: 0.001)")
+    profile.add_argument("--frames", type=int, default=None,
+                         help="frame count (default: the scale's)")
+    profile.add_argument("--scheme", default=None,
+                         help="storage scheme (default: the scale's)")
+    profile.add_argument("--spans", action="store_true",
+                         help="embed the full span list in the report")
+    profile.add_argument("--output", default=None, metavar="FILE",
+                         help="write the report to FILE (default: stdout)")
     return parser
 
 
@@ -116,10 +140,29 @@ def cmd_run(names, scale_name: str) -> int:
     return 0
 
 
+def cmd_profile(args) -> int:
+    from repro.obs.profile import run_profile
+
+    report = run_profile(scale=args.scale, session=args.session,
+                         eta=args.eta, frames=args.frames,
+                         scheme=args.scheme, include_spans=args.spans)
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        reconciled = report["io"]["reconciled"]
+        print(f"wrote {args.output} (reconciled={reconciled})")
+    else:
+        print(text)
+    return 0 if report["io"]["reconciled"] else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
+    if args.command == "profile":
+        return cmd_profile(args)
     return cmd_run(args.experiments, args.scale)
 
 

@@ -130,12 +130,13 @@ class PrioritizedSearch:
           out-of-frustum children that phase 1 filtered out.
         """
         ventries = self._search.scheme.ventries(node.node_offset)
-        result.vpages_read += 1
         if ventries is None:
             if node.node_offset == 0:
-                return              # fully-hidden cell: empty answer
+                return              # fully-hidden cell: empty answer,
+                                    # and no V-page was actually read
             raise HDoVError(
                 f"node {node.node_offset} has no V-page but was traversed")
+        result.vpages_read += 1
         for (mbr, target, _lod_ptr), (dov, nvo) in zip(node.entries,
                                                        ventries):
             if dov == 0.0:

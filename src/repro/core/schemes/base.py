@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
+from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
 
 
@@ -56,6 +57,13 @@ class StorageScheme(abc.ABC):
         #: captured segment state, installed for free at flip time.
         self._warm: Dict[int, object] = {}
         self.prefetched_flips = 0
+        registry = get_registry()
+        self._m_flips = registry.counter("scheme_flips_total",
+                                         scheme=self.name)
+        self._m_warm_flips = registry.counter(
+            "scheme_prefetched_flips_total", scheme=self.name)
+        self._m_prefetches = registry.counter("scheme_prefetches_total",
+                                              scheme=self.name)
 
     # -- build -------------------------------------------------------------
 
@@ -76,10 +84,12 @@ class StorageScheme(abc.ABC):
         if warm is not None:
             self._restore_cell_state(warm)
             self.prefetched_flips += 1
+            self._m_warm_flips.inc()
         else:
             self._load_cell(cell_id)
         self.current_cell = cell_id
         self.flips += 1
+        self._m_flips.inc()
 
     def prefetch_cell(self, cell_id: int) -> None:
         """Read ``cell_id``'s per-cell structures *now* (charging the
@@ -88,6 +98,7 @@ class StorageScheme(abc.ABC):
         simply leaves the warm entry unused."""
         if cell_id == self.current_cell or cell_id in self._warm:
             return
+        self._m_prefetches.inc()
         current_state = self._capture_cell_state()
         self._load_cell(cell_id)
         self._warm[cell_id] = self._capture_cell_state()

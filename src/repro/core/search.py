@@ -24,6 +24,8 @@ from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.schemes.base import StorageScheme
 from repro.errors import HDoVError
 from repro.lod.selection import internal_lod_fraction, leaf_lod_fraction
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,12 @@ class SearchResult:
     internals: List[RetrievedInternal] = field(default_factory=list)
     nodes_read: int = 0
     vpages_read: int = 0
+    #: Figure-3 decision tally: entries pruned at DoV == 0 (line 3),
+    #: branches terminated at an internal LoD (line 8), and branches
+    #: recursed into (line 10).
+    pruned: int = 0
+    terminated: int = 0
+    recursed: int = 0
     #: True when this query changed the current cell (paid a flip).
     flipped: bool = False
 
@@ -123,6 +131,22 @@ class HDoVSearch:
         #: metadata, resident like the paper's NVO bookkeeping).
         self._levels = {n.node_offset: n.level
                         for n in env.tree.iter_nodes_dfs()}
+        registry = get_registry()
+        scheme_name = self._scheme.name
+        self._m_queries = registry.counter("search_queries_total",
+                                           scheme=scheme_name)
+        self._m_nodes = registry.counter("search_nodes_read_total",
+                                         scheme=scheme_name)
+        self._m_vpages = registry.counter("search_vpages_read_total",
+                                          scheme=scheme_name)
+        self._m_pruned = registry.counter("search_pruned_total",
+                                          scheme=scheme_name)
+        self._m_terminated = registry.counter("search_terminated_total",
+                                              scheme=scheme_name)
+        self._m_recursed = registry.counter("search_recursed_total",
+                                            scheme=scheme_name)
+        self._m_results = registry.histogram("search_results",
+                                             scheme=scheme_name)
 
     @property
     def scheme(self) -> StorageScheme:
@@ -139,20 +163,35 @@ class HDoVSearch:
         """Visibility query for a cell id."""
         if eta < 0.0:
             raise HDoVError(f"eta must be >= 0, got {eta}")
-        flipped = self._scheme.current_cell != cell_id
-        self._scheme.flip_to_cell(cell_id)
-        result = SearchResult(cell_id=cell_id, eta=eta, flipped=flipped)
-        root = self.env.node_store.read_node(0)
-        result.nodes_read += 1
-        self._search_node(root, eta, result)
+        with span("search", cell=cell_id, eta=eta,
+                  scheme=self._scheme.name) as sp:
+            flipped = self._scheme.current_cell != cell_id
+            with span("flip_to_cell", cell=cell_id):
+                self._scheme.flip_to_cell(cell_id)
+            result = SearchResult(cell_id=cell_id, eta=eta, flipped=flipped)
+            root = self.env.node_store.read_node(0)
+            result.nodes_read += 1
+            self._search_node(root, eta, result)
+            if sp is not None:
+                sp.attrs.update(nodes_read=result.nodes_read,
+                                vpages_read=result.vpages_read,
+                                results=result.num_results)
+        self._m_queries.inc()
+        self._m_nodes.inc(result.nodes_read)
+        self._m_vpages.inc(result.vpages_read)
+        self._m_pruned.inc(result.pruned)
+        self._m_terminated.inc(result.terminated)
+        self._m_recursed.inc(result.recursed)
+        self._m_results.observe(result.num_results)
         return result
 
     # -- figure 3 -------------------------------------------------------------
 
     def _search_node(self, node, eta: float, result: SearchResult) -> None:
         ventries = self._scheme.ventries(node.node_offset)
-        result.vpages_read += 1
         if ventries is None:
+            # No page was read, so nothing is counted: a fully-hidden
+            # cell must report vpages_read == 0, not one phantom read.
             if node.node_offset == 0:
                 # A fully-hidden cell: even the root has no V-page, and
                 # the answer set is empty.
@@ -161,16 +200,20 @@ class HDoVSearch:
             # must exist; reaching here means corrupted data.
             raise HDoVError(
                 f"node {node.node_offset} has no V-page but was traversed")
+        result.vpages_read += 1
         if len(ventries) != len(node.entries):
             raise HDoVError("V-page does not match node entry count")
         for (mbr, target, lod_ptr), (dov, nvo) in zip(node.entries, ventries):
             if dov == 0.0:
+                result.pruned += 1
                 continue                                   # line 3: prune
             if node.is_leaf:
                 self._retrieve_object(target, dov, result)  # lines 4-5
             elif dov <= eta and self._should_terminate(target, nvo):
+                result.terminated += 1
                 self._retrieve_internal(target, dov, eta, result)  # line 8
             else:
+                result.recursed += 1
                 child = self.env.node_store.read_node(target)      # line 10
                 result.nodes_read += 1
                 self._search_node(child, eta, result)

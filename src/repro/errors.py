@@ -53,3 +53,7 @@ class WalkthroughError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment driver misconfiguration."""
+
+
+class ObservabilityError(ReproError):
+    """Metrics/tracing misuse (kind mismatch, negative counter step)."""

@@ -1,0 +1,32 @@
+"""Observability layer: metrics registry, span tracing, profile runner.
+
+The library's storage, search and walkthrough layers are instrumented
+against a process-wide :class:`MetricsRegistry` (cheap counters with
+labels) and an optional :class:`TraceRecorder` (nested wall-clock spans,
+disabled by default).  ``repro profile`` assembles both into a JSON
+report whose per-file I/O counters reconcile exactly with the simulated
+:class:`~repro.storage.disk.IOStats` clock.
+"""
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               format_series, get_registry, set_registry,
+                               use_registry)
+from repro.obs.trace import (SpanRecord, TraceRecorder, get_tracer,
+                             set_tracer, span, use_tracer)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceRecorder",
+    "format_series",
+    "get_registry",
+    "get_tracer",
+    "set_registry",
+    "set_tracer",
+    "span",
+    "use_registry",
+    "use_tracer",
+]

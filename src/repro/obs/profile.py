@@ -1,0 +1,256 @@
+"""``repro profile`` — an instrumented walkthrough with a JSON report.
+
+Builds a fresh environment against a *fresh* metrics registry and an
+enabled trace recorder, replays a walkthrough session through the VISUAL
+system, and assembles a report answering "where do the simulated
+milliseconds go":
+
+* per-phase wall-clock (build vs walkthrough, plus the span summary of
+  search / flip_to_cell / per-frame work);
+* per-file I/O counters (reads, writes, seeks, sequential, bytes,
+  simulated ms) straight from the metrics registry;
+* a **reconciliation** of those per-file counters against the
+  environment's :class:`~repro.storage.disk.IOStats` totals — the two
+  accounting paths are independent, so agreement is evidence neither is
+  miscounting (the check benchmarks and the regression suite assert on);
+* cache behaviour (delta-search fetch/skip, scheme flips, prefetches)
+  and traversal decision counts (pruned / terminated / recursed).
+
+The report is plain dict/list/scalar data, ready for ``json.dump``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.hdov_tree import HDoVEnvironment, build_environment
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.trace import TraceRecorder, span, use_tracer
+from repro.scene.city import generate_city
+from repro.storage.disk import IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.visibility.cells import CellGrid
+from repro.walkthrough.session import make_session
+from repro.walkthrough.visual import VisualSystem
+
+#: Relative tolerance for reconciling floating simulated-ms sums;
+#: integer counters must match exactly.
+_MS_RTOL = 1e-9
+
+
+def _iostats_dict(stats: IOStats) -> Dict[str, float]:
+    return {
+        "reads": stats.reads,
+        "writes": stats.writes,
+        "seeks": stats.seeks,
+        "sequential_reads": stats.sequential_reads,
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
+        "simulated_ms": stats.simulated_ms,
+    }
+
+
+def _environment_files(env: HDoVEnvironment) -> List[PagedFile]:
+    """Every paged file the environment charges I/O through."""
+    files = [env.node_store.pfile, env.object_store.pfile]
+    for scheme in env.schemes.values():
+        files.append(scheme.vpage_file)
+        if scheme.index_file is not None:
+            files.append(scheme.index_file)
+    return files
+
+
+def _per_file_io(registry: MetricsRegistry, baseline: Dict[str, float],
+                 files: List[PagedFile]) -> Dict[str, Dict[str, float]]:
+    """Registry counter deltas since ``baseline``, grouped per file."""
+    delta = registry.delta(baseline)
+    metric_of = {
+        "pagedfile_reads_total": "reads",
+        "pagedfile_writes_total": "writes",
+        "pagedfile_seeks_total": "seeks",
+        "pagedfile_sequential_total": "sequential_reads",
+        "pagedfile_bytes_read_total": "bytes_read",
+        "pagedfile_bytes_written_total": "bytes_written",
+        "pagedfile_simulated_ms_total": "simulated_ms",
+    }
+    out: Dict[str, Dict[str, float]] = {}
+    for pfile in files:
+        row = {field: 0.0 for field in metric_of.values()}
+        for metric, field in metric_of.items():
+            row[field] = delta.get(f'{metric}{{file="{pfile.name}"}}', 0.0)
+        out[pfile.name] = row
+    return out
+
+
+def reconcile(per_file: Dict[str, Dict[str, float]],
+              files: List[PagedFile],
+              stats_by_name: Dict[str, IOStats]) -> Dict[str, object]:
+    """Check per-file registry counters against ``IOStats`` totals.
+
+    Files sharing one ``IOStats`` (the light-weight group) are summed
+    before comparing.  Returns ``{"ok": bool, "groups": {...}}`` with a
+    per-group breakdown of both sides.
+    """
+    name_of_stats = {id(stats): name
+                     for name, stats in stats_by_name.items()}
+    groups: Dict[int, Dict[str, object]] = {}
+    for pfile in files:
+        group = groups.setdefault(id(pfile.stats), {
+            "stats": name_of_stats.get(id(pfile.stats), "unknown"),
+            "files": [],
+            "counted": {k: 0.0 for k in _iostats_dict(IOStats())},
+            "expected": _iostats_dict(pfile.stats),
+        })
+        group["files"].append(pfile.name)
+        for field, value in per_file[pfile.name].items():
+            group["counted"][field] += value
+
+    ok = True
+    for group in groups.values():
+        for field, expected in group["expected"].items():
+            counted = group["counted"][field]
+            if field == "simulated_ms":
+                tolerance = _MS_RTOL * max(abs(expected), 1.0)
+                if abs(counted - expected) > tolerance:
+                    ok = False
+            elif counted != expected:
+                ok = False
+    return {"ok": ok, "groups": list(groups.values())}
+
+
+def run_profile(*, scale: str = "small", session: int = 1,
+                eta: float = 0.001, frames: Optional[int] = None,
+                scheme: Optional[str] = None,
+                include_spans: bool = False) -> Dict[str, object]:
+    """Run one instrumented walkthrough; returns the JSON-ready report.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale name (``small`` / ``medium`` / ``large``).
+    session:
+        Motion pattern 1, 2 or 3 (Section 5.4's recorded sessions).
+    eta:
+        DoV threshold for the VISUAL system.
+    frames:
+        Frame count override (defaults to the scale's session length).
+    scheme:
+        Storage scheme to walk (defaults to the scale's only scheme).
+    include_spans:
+        Also embed the full span list (one record per frame/query) in
+        the report, not just the per-name summary.
+    """
+    # Imported here: repro.experiments pulls in every experiment driver,
+    # which the library layers must not depend on at import time.
+    from repro.experiments.config import get_scale
+
+    experiment = get_scale(scale)
+    registry = MetricsRegistry()
+    tracer = TraceRecorder(enabled=True)
+    with use_registry(registry), use_tracer(tracer):
+        with span("build") as build_span:
+            scene = generate_city(experiment.city)
+            grid = CellGrid.covering(scene.bounds(), experiment.cell_size)
+            env = build_environment(scene, grid, experiment.hdov)
+            if build_span is not None:
+                build_span.attrs.update(objects=len(scene),
+                                        nodes=env.node_store.num_nodes,
+                                        cells=grid.num_cells)
+        # build_environment resets IOStats after preprocessing; snapshot
+        # the registry at the same point so both accounting paths cover
+        # exactly the walkthrough that follows.
+        baseline = registry.snapshot()
+
+        num_frames = frames if frames is not None \
+            else experiment.session_frames
+        path = make_session(session, scene.bounds(), num_frames=num_frames,
+                            street_pitch=experiment.city.pitch)
+        system = VisualSystem(
+            env, eta=eta, scheme=scheme,
+            cache_budget_bytes=experiment.visual_cache_budget_bytes)
+        with span("walkthrough", session=path.name):
+            report = system.run(path)
+
+        files = _environment_files(env)
+        per_file = _per_file_io(registry, baseline, files)
+        reconciliation = reconcile(per_file, files, {
+            "light": env.light_stats, "heavy": env.heavy_stats})
+
+        frame_times = report.frame_times()
+        queried_frames = sum(1 for f in report.frames if f.total_ios > 0)
+        active_scheme = system.delta.search.scheme
+        summary = tracer.summarize()
+
+        result: Dict[str, object] = {
+            "profile": {
+                "scale": scale,
+                "session": path.name,
+                "eta": eta,
+                "scheme": active_scheme.name,
+                "frames": num_frames,
+            },
+            "scene": {
+                "objects": len(scene),
+                "polygons": scene.total_polygons(),
+                "model_bytes": scene.total_bytes(),
+                "tree_nodes": env.node_store.num_nodes,
+                "tree_height": env.tree.height,
+                "cells": grid.num_cells,
+            },
+            "phases": {
+                name: {
+                    "wall_ms": round(agg["total_ms"], 3),
+                    "count": int(agg["count"]),
+                }
+                for name, agg in summary.items()
+            },
+            "frames": {
+                "count": len(report.frames),
+                "queried": queried_frames,
+                "avg_frame_ms": sum(frame_times) / len(frame_times),
+                "max_frame_ms": max(frame_times),
+                "avg_search_ms": report.avg_search_ms(),
+                "avg_query_search_ms": report.avg_query_search_ms(),
+                "avg_ios": report.avg_ios(),
+                "peak_resident_bytes": report.peak_resident_bytes(),
+            },
+            "io": {
+                "files": per_file,
+                "totals": {
+                    "light": _iostats_dict(env.light_stats),
+                    "heavy": _iostats_dict(env.heavy_stats),
+                },
+                "reconciled": reconciliation["ok"],
+                "reconciliation": reconciliation["groups"],
+            },
+            "cache": {
+                "delta_search": {
+                    "fetches": system.delta.fetches,
+                    "skipped": system.delta.skipped,
+                    "evictions": system.delta.evictions,
+                    "resident_bytes": system.delta.resident_bytes,
+                },
+                "scheme": {
+                    "flips": active_scheme.flips,
+                    "prefetched_flips": active_scheme.prefetched_flips,
+                },
+            },
+            "search": {
+                "queries": registry.value("search_queries_total",
+                                          scheme=active_scheme.name),
+                "nodes_read": registry.value("search_nodes_read_total",
+                                             scheme=active_scheme.name),
+                "vpages_read": registry.value("search_vpages_read_total",
+                                              scheme=active_scheme.name),
+                "pruned": registry.value("search_pruned_total",
+                                         scheme=active_scheme.name),
+                "terminated": registry.value("search_terminated_total",
+                                             scheme=active_scheme.name),
+                "recursed": registry.value("search_recursed_total",
+                                           scheme=active_scheme.name),
+            },
+            "metrics": registry.delta(baseline),
+        }
+        if include_spans:
+            result["spans"] = tracer.to_dicts()
+        return result

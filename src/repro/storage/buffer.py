@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.errors import BufferPoolError
+from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
 
 
@@ -27,23 +28,49 @@ class BufferPool:
 
     Keys are ``(file, page_id)`` pairs, so one pool can front several
     files (tree file, V-page file, object store) with a single memory
-    budget — mirroring how the prototype shares one cache.
+    budget — mirroring how the prototype shares one cache.  Files are
+    identified by their stable :attr:`PagedFile.file_id`, never by
+    ``id()``: a garbage-collected file's address can be reused by a new
+    ``PagedFile``, which would silently serve the old file's frames for
+    the new file's pages.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum resident frames.
+    name:
+        Label for this pool's metrics series (hits, misses, evictions,
+        pin churn) in the process metrics registry.
     """
 
-    def __init__(self, capacity: int) -> None:
+    def __init__(self, capacity: int, *, name: str = "default") -> None:
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.name = name
         self._frames: "OrderedDict[Tuple[int, int], _Frame]" = OrderedDict()
         self._files: Dict[int, PagedFile] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        registry = get_registry()
+        self._m_hits = registry.counter("bufferpool_hits_total", pool=name)
+        self._m_misses = registry.counter("bufferpool_misses_total",
+                                          pool=name)
+        self._m_evictions = registry.counter("bufferpool_evictions_total",
+                                             pool=name)
+        self._m_pins = registry.counter("bufferpool_pins_total", pool=name)
+        self._m_unpins = registry.counter("bufferpool_unpins_total",
+                                          pool=name)
+        self._m_writebacks = registry.counter(
+            "bufferpool_writebacks_total", pool=name)
+        self._m_resident = registry.gauge("bufferpool_resident_pages",
+                                          pool=name)
 
     # -- internals ------------------------------------------------------------
 
     def _key(self, pfile: PagedFile, page_id: int) -> Tuple[int, int]:
-        fid = id(pfile)
+        fid = pfile.file_id
         self._files[fid] = pfile
         return (fid, page_id)
 
@@ -53,8 +80,10 @@ class BufferPool:
                 if frame.dirty:
                     fid, page_id = key
                     self._files[fid].write_page(page_id, frame.data)
+                    self._m_writebacks.inc()
                 del self._frames[key]
                 self.evictions += 1
+                self._m_evictions.inc()
                 return
         raise BufferPoolError("all frames are pinned; cannot evict")
 
@@ -66,15 +95,19 @@ class BufferPool:
         frame = self._frames.get(key)
         if frame is not None:
             self.hits += 1
+            self._m_hits.inc()
             self._frames.move_to_end(key)
         else:
             self.misses += 1
+            self._m_misses.inc()
             if len(self._frames) >= self.capacity:
                 self._evict_one()
             frame = _Frame(pfile.read_page(page_id))
             self._frames[key] = frame
+            self._m_resident.set(len(self._frames))
         if pin:
             frame.pin_count += 1
+            self._m_pins.inc()
         return frame.data
 
     def put(self, pfile: PagedFile, page_id: int, data: bytes) -> None:
@@ -88,33 +121,47 @@ class BufferPool:
                 self._evict_one()
             frame = _Frame(data=b"")
             self._frames[key] = frame
+            self._m_resident.set(len(self._frames))
         frame.data = bytes(data)
         frame.dirty = True
         self._frames.move_to_end(key)
 
     def unpin(self, pfile: PagedFile, page_id: int) -> None:
-        key = (id(pfile), page_id)
+        key = (pfile.file_id, page_id)
         frame = self._frames.get(key)
         if frame is None or frame.pin_count == 0:
             raise BufferPoolError(f"unpin of unpinned page {page_id}")
         frame.pin_count -= 1
+        self._m_unpins.inc()
 
     def contains(self, pfile: PagedFile, page_id: int) -> bool:
-        return (id(pfile), page_id) in self._frames
+        return (pfile.file_id, page_id) in self._frames
 
     def flush(self) -> None:
-        """Write back every dirty frame (keeps frames resident)."""
+        """Write back every dirty frame (keeps frames resident).
+
+        Write-back order is frame LRU order (least recently used first),
+        matching the order evictions would have flushed them.
+        """
         for (fid, page_id), frame in self._frames.items():
             if frame.dirty:
                 self._files[fid].write_page(page_id, frame.data)
+                self._m_writebacks.inc()
                 frame.dirty = False
 
     def clear(self) -> None:
-        """Flush and drop all frames.  Fails if any page is pinned."""
+        """Flush and drop all frames *and* file references.
+
+        Fails if any page is pinned.  Dropping ``_files`` matters: the
+        pool must not keep closed or discarded ``PagedFile`` objects
+        alive after the caller is done with them.
+        """
         if any(f.pin_count for f in self._frames.values()):
             raise BufferPoolError("cannot clear: pinned pages present")
         self.flush()
         self._frames.clear()
+        self._files.clear()
+        self._m_resident.set(0)
 
     @property
     def resident_pages(self) -> int:

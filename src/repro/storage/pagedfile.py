@@ -12,12 +12,19 @@ layouts measurably cheaper.
 
 from __future__ import annotations
 
+import itertools
 import os
 from typing import Dict, Optional
 
 from repro.constants import PAGE_SIZE
 from repro.errors import PageNotFoundError, StorageError
+from repro.obs.metrics import get_registry
 from repro.storage.disk import DiskModel, IOStats
+
+#: Process-wide monotonic file identity.  ``id(pfile)`` is unusable as a
+#: cache key because a garbage-collected file's address can be reused by
+#: a new object; these ids are never reused within a process.
+_FILE_IDS = itertools.count()
 
 
 class PagedFile:
@@ -49,6 +56,21 @@ class PagedFile:
         self.page_size = page_size
         self.disk = disk if disk is not None else DiskModel()
         self.stats = stats if stats is not None else IOStats()
+        #: Stable per-file identity (survives address reuse; see
+        #: :class:`~repro.storage.buffer.BufferPool`).
+        self.file_id = next(_FILE_IDS)
+        registry = get_registry()
+        self._m_reads = registry.counter("pagedfile_reads_total", file=name)
+        self._m_writes = registry.counter("pagedfile_writes_total", file=name)
+        self._m_seeks = registry.counter("pagedfile_seeks_total", file=name)
+        self._m_sequential = registry.counter(
+            "pagedfile_sequential_total", file=name)
+        self._m_bytes_read = registry.counter(
+            "pagedfile_bytes_read_total", file=name)
+        self._m_bytes_written = registry.counter(
+            "pagedfile_bytes_written_total", file=name)
+        self._m_ms = registry.counter(
+            "pagedfile_simulated_ms_total", file=name)
         self._path = path
         self._mem: Dict[int, bytes] = {}
         self._fh = None
@@ -98,35 +120,47 @@ class PagedFile:
     def allocate(self) -> int:
         """Allocate a fresh zeroed page; returns its page id.
 
-        Allocation itself is free (the write that follows pays the I/O).
+        Allocation itself is free (the write that follows pays the I/O)
+        and *lazy*: no zero payload is written.  Reading a page that was
+        allocated but never written returns zeros; the file backend
+        extends the file size with ``truncate`` (one metadata operation,
+        no data write) instead of writing a zero page that the typical
+        ``append_page`` caller immediately overwrites.
         """
-        self._check_open()
-        page_id = self._num_pages
-        self._num_pages += 1
-        if self._fh is None:
-            self._mem[page_id] = bytes(self.page_size)
-        else:
-            self._fh.seek(page_id * self.page_size)
-            self._fh.write(bytes(self.page_size))
-        return page_id
+        return self.allocate_many(1)
 
     def allocate_many(self, count: int) -> int:
         """Allocate ``count`` consecutive pages; returns the first id."""
         if count < 1:
             raise StorageError(f"count must be >= 1, got {count}")
-        first = self.allocate()
-        for _ in range(count - 1):
-            self.allocate()
+        self._check_open()
+        first = self._num_pages
+        self._num_pages += count
+        if self._fh is not None:
+            self._fh.truncate(self._num_pages * self.page_size)
         return first
 
     # -- access ------------------------------------------------------------
 
     def _charge(self, page_id: int, *, write: bool) -> None:
         window = max(self.disk.readahead_pages, 1)
+        # A zero delta is a repeat access to the page under the head: no
+        # repositioning happens, so it must not be charged as a seek.
         sequential = (self._last_accessed is not None
-                      and 0 < page_id - self._last_accessed <= window)
+                      and 0 <= page_id - self._last_accessed <= window)
         self.disk.charge(self.stats, write=write, sequential=sequential,
                          nbytes=self.page_size)
+        if write:
+            self._m_writes.inc()
+            self._m_bytes_written.inc(self.page_size)
+        else:
+            self._m_reads.inc()
+            self._m_bytes_read.inc(self.page_size)
+        if sequential:
+            self._m_sequential.inc()
+        else:
+            self._m_seeks.inc()
+        self._m_ms.inc(self.disk.access_cost(sequential))
         self._last_accessed = page_id
 
     def _validate(self, page_id: int) -> None:
@@ -140,7 +174,9 @@ class PagedFile:
         self._validate(page_id)
         self._charge(page_id, write=False)
         if self._fh is None:
-            return self._mem[page_id]
+            data = self._mem.get(page_id)
+            # Allocated but never written: lazily materialise zeros.
+            return data if data is not None else bytes(self.page_size)
         self._fh.seek(page_id * self.page_size)
         data = self._fh.read(self.page_size)
         if len(data) != self.page_size:

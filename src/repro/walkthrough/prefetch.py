@@ -60,11 +60,18 @@ class CellPrefetcher:
         current = grid.cell_of_point(position)
         if self._last_position is None:
             return None
+        # Cells partition the horizontal plane, so the prediction uses
+        # the horizontal velocity for both the direction *and* the speed
+        # that normalises it — mixing components (planar speed, 3D
+        # direction) inflates the lookahead whenever the viewer moves
+        # vertically and triggers spurious prefetches.
         velocity = position - self._last_position
-        speed = float(np.linalg.norm(velocity[:2]))
+        planar = velocity.copy()
+        planar[2] = 0.0
+        speed = float(np.linalg.norm(planar))
         if speed == 0.0:
             return None
-        lookahead = position + velocity / speed * (
+        lookahead = position + planar / speed * (
             grid.cell_size * self.trigger_fraction)
         predicted = grid.cell_of_point(lookahead)
         if predicted == current:

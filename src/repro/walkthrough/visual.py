@@ -27,6 +27,7 @@ from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.search import HDoVSearch, SearchResult
 from repro.baselines.review import ReviewSystem
 from repro.errors import WalkthroughError
+from repro.obs.trace import span
 from repro.walkthrough.frame import FrameModel, FrameRecord
 from repro.walkthrough.metrics import FidelityMetric
 from repro.walkthrough.session import Session
@@ -114,12 +115,20 @@ class VisualSystem:
             position = waypoint.position_array()
             cell_id = self.env.grid.cell_of_point(position)
             snap = self.env.snapshot()
-            if cell_id != last_cell or last_result is None:
-                last_result = self.delta.query_cell(cell_id, self.eta)
-                last_cell = cell_id
-                if self.evaluate_fidelity:
-                    last_fidelity = self._fidelity.score_hdov(last_result)
-            light, heavy = self.env.delta(snap)
+            with span("frame", index=index, cell=cell_id) as sp:
+                queried = cell_id != last_cell or last_result is None
+                if queried:
+                    last_result = self.delta.query_cell(cell_id, self.eta)
+                    last_cell = cell_id
+                    if self.evaluate_fidelity:
+                        last_fidelity = self._fidelity.score_hdov(last_result)
+                light, heavy = self.env.delta(snap)
+                if sp is not None:
+                    sp.attrs.update(queried=queried,
+                                    light_ios=light.total_ios,
+                                    heavy_ios=heavy.total_ios,
+                                    light_ms=light.simulated_ms,
+                                    heavy_ms=heavy.simulated_ms)
             io_ms = light.simulated_ms + heavy.simulated_ms
             polygons = last_result.total_polygons
             frames.append(FrameRecord(

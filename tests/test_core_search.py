@@ -166,3 +166,38 @@ def test_result_totals_consistent(env):
         sum(o.polygons for o in result.objects)
         + sum(i.polygons for i in result.internals))
     assert result.num_results == len(result.objects) + len(result.internals)
+
+
+def test_fully_hidden_cell_reports_zero_vpages_read(env):
+    """Regression: a fully-hidden cell (the root has no V-page) used to
+    report one phantom V-page read — the counter was bumped before the
+    absence was discovered.  Only actual reads may count."""
+    search = HDoVSearch(env, "indexed-vertical")
+    cell_id = interesting_cells(env)[0]
+    search.query_cell(cell_id, 0.0)
+    # Simulate a fully-hidden cell: the flipped-in segment has no
+    # visible nodes at all, so even the root's V-page lookup misses.
+    search.scheme._current_pairs = {}
+    try:
+        result = search.query_cell(cell_id, 0.0)
+    finally:
+        # Force the next flip to reload the real segment (the scheme is
+        # shared by the session-scoped environment).
+        search.scheme.current_cell = None
+    assert result.vpages_read == 0
+    assert result.num_results == 0
+    assert result.nodes_read == 1          # the root node itself was read
+
+
+def test_decision_counters_partition_entries(env):
+    """Every V-entry of every visited node is exactly one of: pruned,
+    retrieved (leaf), terminated, or recursed."""
+    search = HDoVSearch(env, "indexed-vertical")
+    for cell_id in interesting_cells(env, limit=3):
+        result = search.query_cell(cell_id, 0.002)
+        assert result.recursed == result.nodes_read - 1  # root not recursed
+        assert result.terminated == len(result.internals)
+        assert result.pruned >= 0
+        total_entries = (result.pruned + len(result.objects)
+                         + result.terminated + result.recursed)
+        assert total_entries > 0

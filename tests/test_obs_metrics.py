@@ -1,0 +1,110 @@
+"""Metrics registry: instruments, labels, snapshot/delta, scoping."""
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (MetricsRegistry, format_series, get_registry,
+                               use_registry)
+
+
+def test_counter_basics():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", kind="read")
+    c.inc()
+    c.inc(2.5)
+    assert reg.value("requests_total", kind="read") == pytest.approx(3.5)
+    # Unlabelled same-name series is independent.
+    assert reg.value("requests_total") == 0.0
+
+
+def test_counter_rejects_negative():
+    reg = MetricsRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.counter("c").inc(-1)
+
+
+def test_handles_are_memoized():
+    reg = MetricsRegistry()
+    a = reg.counter("c", file="tree")
+    b = reg.counter("c", file="tree")
+    assert a is b
+    assert reg.counter("c", file="models") is not a
+
+
+def test_kind_mismatch_rejected():
+    reg = MetricsRegistry()
+    reg.counter("x")
+    with pytest.raises(ObservabilityError):
+        reg.gauge("x")
+
+
+def test_gauge_moves_both_ways():
+    reg = MetricsRegistry()
+    g = reg.gauge("resident_pages", pool="p")
+    g.set(10)
+    g.dec(3)
+    g.inc()
+    assert reg.value("resident_pages", pool="p") == 8
+
+
+def test_histogram_summary():
+    reg = MetricsRegistry()
+    h = reg.histogram("frame_ms")
+    for v in (2.0, 4.0, 6.0):
+        h.observe(v)
+    assert h.count == 3
+    assert h.mean == pytest.approx(4.0)
+    collected = reg.collect()
+    assert collected["frame_ms_count"] == 3
+    assert collected["frame_ms_sum"] == pytest.approx(12.0)
+    assert collected["frame_ms_min"] == pytest.approx(2.0)
+    assert collected["frame_ms_max"] == pytest.approx(6.0)
+
+
+def test_format_series():
+    assert format_series("m", ()) == "m"
+    assert format_series("m", (("a", "1"), ("b", "x"))) == 'm{a="1",b="x"}'
+
+
+def test_snapshot_delta():
+    reg = MetricsRegistry()
+    c = reg.counter("ops", file="a")
+    c.inc(5)
+    snap = reg.snapshot()
+    c.inc(2)
+    reg.counter("ops", file="b").inc(1)
+    delta = reg.delta(snap)
+    assert delta == {'ops{file="a"}': 2.0, 'ops{file="b"}': 1.0}
+
+
+def test_delta_skips_histogram_extremes():
+    reg = MetricsRegistry()
+    h = reg.histogram("t")
+    h.observe(5.0)
+    snap = reg.snapshot()
+    h.observe(1.0)
+    delta = reg.delta(snap)
+    assert delta["t_count"] == 1.0
+    assert delta["t_sum"] == pytest.approx(1.0)
+    assert not any(k.startswith("t_min") or k.startswith("t_max")
+                   for k in delta)
+
+
+def test_reset_keeps_handles_valid():
+    reg = MetricsRegistry()
+    c = reg.counter("ops")
+    c.inc(7)
+    reg.reset()
+    assert reg.value("ops") == 0.0
+    c.inc()                          # the cached handle still works
+    assert reg.value("ops") == 1.0
+
+
+def test_use_registry_scoping():
+    before = get_registry()
+    with use_registry() as scoped:
+        assert get_registry() is scoped
+        assert scoped is not before
+        scoped.counter("inner").inc()
+    assert get_registry() is before
+    assert before.value("inner") == 0.0

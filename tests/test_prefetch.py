@@ -117,3 +117,36 @@ def test_prefetcher_validation(env):
     with pytest.raises(WalkthroughError):
         CellPrefetcher(env, env.scheme("indexed-vertical"),
                        trigger_fraction=0.0)
+
+
+def test_vertical_motion_does_not_change_prediction(env):
+    """Regression: speed was computed from the horizontal velocity but
+    normalised the full 3D velocity, so vertical motion inflated the
+    lookahead step.  The prediction must depend only on the horizontal
+    motion: adding a vertical component changes nothing."""
+    scheme = env.scheme("indexed-vertical")
+    grid = env.grid
+    start = grid.cell_center(busiest_cells(env)[0])
+    step = np.array([grid.cell_size * 0.3, 0.0, 0.0])
+    climb = np.array([0.0, 0.0, grid.cell_size * 5.0])
+
+    planar = CellPrefetcher(env, scheme, trigger_fraction=0.5)
+    assert planar.predict_next_cell(start) is None    # no velocity yet
+    planar._last_position = start.copy()
+    flat_prediction = planar.predict_next_cell(start + step)
+
+    climbing = CellPrefetcher(env, scheme, trigger_fraction=0.5)
+    climbing._last_position = start.copy()
+    climbing_prediction = climbing.predict_next_cell(start + step + climb)
+
+    assert climbing_prediction == flat_prediction
+
+
+def test_pure_vertical_motion_predicts_nothing(env):
+    scheme = env.scheme("indexed-vertical")
+    grid = env.grid
+    start = grid.cell_center(busiest_cells(env)[0])
+    prefetcher = CellPrefetcher(env, scheme, trigger_fraction=1.0)
+    prefetcher._last_position = start.copy()
+    up = start + np.array([0.0, 0.0, grid.cell_size * 3.0])
+    assert prefetcher.predict_next_cell(up) is None

@@ -140,6 +140,61 @@ def test_disk_backed_file_roundtrip(tmp_path):
         assert pf2.read_page(pid).startswith(b"persisted")
 
 
+def test_repeat_same_page_read_charges_no_seek():
+    """Regression: re-reading the page under the head is a zero delta —
+    the head does not move, so no fresh seek may be charged."""
+    pf = make_file()
+    pf.allocate_many(3)
+    pf.stats.reset()
+    pf.read_page(0)                    # cold: seek
+    pf.read_page(0)                    # same page: no repositioning
+    pf.read_page(0)
+    assert pf.stats.seeks == 1
+    assert pf.stats.sequential_reads == 2
+    assert pf.stats.simulated_ms == pytest.approx(11.0 + 2 * 1.0)
+
+
+def test_repeat_same_page_write_charges_no_seek():
+    pf = make_file()
+    pid = pf.allocate()
+    pf.stats.reset()
+    pf.write_page(pid, b"a")
+    pf.write_page(pid, b"b")
+    assert pf.stats.seeks == 1
+    assert pf.stats.sequential_reads == 1
+
+
+def test_lazy_allocation_reads_zeros():
+    """Allocated-but-never-written pages read back as zeros (both
+    backends) without any eager zero-fill write."""
+    pf = make_file()
+    pid = pf.allocate()
+    assert pf.read_page(pid) == bytes(256)
+
+
+def test_lazy_allocation_disk_backend(tmp_path):
+    path = os.path.join(tmp_path, "lazy.bin")
+    with PagedFile("lazy", page_size=128, path=path) as pf:
+        first = pf.allocate_many(4)
+        assert os.path.getsize(path) == 4 * 128
+        assert pf.read_page(first + 2) == bytes(128)
+        pf.write_page(first + 1, b"x")
+        assert pf.read_page(first + 1).startswith(b"x")
+
+
+def test_append_page_writes_payload_once(tmp_path):
+    """Regression: file-backed allocate used to write a zero page that
+    append_page immediately overwrote — a double data write."""
+    path = os.path.join(tmp_path, "once.bin")
+    with PagedFile("once", page_size=128, path=path) as pf:
+        writes = []
+        original = pf._fh.write
+        pf._fh.write = lambda data: (writes.append(len(data)),
+                                     original(data))[1]
+        pf.append_page(b"payload")
+        assert writes == [128]
+
+
 def test_iostats_delta():
     stats = IOStats()
     disk = DiskModel()
