@@ -1,0 +1,81 @@
+"""Baseline files: adopt a rule without fixing the backlog first.
+
+A baseline is a JSON snapshot of the *currently accepted* diagnostics.
+``repro lint --baseline FILE`` subtracts it from the results, so a new
+rule can gate new code immediately while the pre-existing violations
+are burned down over time.  Keys are location-independent
+(``path::code::message``) with an occurrence count, so edits elsewhere
+in a file do not invalidate its baseline, but *adding* one more
+violation of a baselined kind still fails.
+
+The repo itself ships with no baseline — the tree is clean — but the
+mechanism is part of the framework so future rules can land against a
+dirty tree without being watered down.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.analysis.diagnostics import Diagnostic
+from repro.errors import AnalysisError
+
+_VERSION = 1
+
+
+def save_baseline(path: str, diagnostics: List[Diagnostic]) -> None:
+    """Write the baseline covering ``diagnostics`` to ``path``."""
+    entries = Counter(d.baseline_key() for d in diagnostics)
+    payload = {
+        "version": _VERSION,
+        "entries": {key: count for key, count in sorted(entries.items())},
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+
+
+def load_baseline(path: str) -> Dict[str, int]:
+    """Read a baseline; raises :class:`AnalysisError` on malformed data."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or \
+            payload.get("version") != _VERSION or \
+            not isinstance(payload.get("entries"), dict):
+        raise AnalysisError(
+            f"baseline {path}: expected {{version: {_VERSION}, "
+            f"entries: {{...}}}}")
+    entries: Dict[str, int] = {}
+    for key, count in payload["entries"].items():
+        if not isinstance(key, str) or not isinstance(count, int) or \
+                count < 1:
+            raise AnalysisError(
+                f"baseline {path}: bad entry {key!r}: {count!r}")
+        entries[key] = count
+    return entries
+
+
+def apply_baseline(diagnostics: List[Diagnostic],
+                   baseline: Dict[str, int]
+                   ) -> Tuple[List[Diagnostic], int]:
+    """Subtract baselined occurrences; returns (remaining, suppressed).
+
+    Each baseline entry absorbs up to ``count`` matching diagnostics;
+    the count makes "one more of the same violation" still fail.
+    """
+    budget = dict(baseline)
+    remaining: List[Diagnostic] = []
+    suppressed = 0
+    for diagnostic in diagnostics:
+        key = diagnostic.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            remaining.append(diagnostic)
+    return remaining, suppressed

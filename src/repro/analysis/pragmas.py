@@ -1,0 +1,72 @@
+"""Ignore pragmas: suppressing a diagnostic at the source line.
+
+Two forms, both comment-only (strings never activate a pragma — the
+source is tokenized, not regex-scanned):
+
+* ``# repro: ignore[RPR001]`` — suppresses the listed codes on that
+  physical line (the line the diagnostic is reported at);
+* ``# repro: ignore-file[RPR002, RPR005]`` — anywhere in the file,
+  suppresses the listed codes for the whole file.
+
+Codes must be listed explicitly; there is no bare ``ignore`` that
+swallows everything, because a blanket pragma hides future rules the
+author never saw.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Set
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*(?P<kind>ignore-file|ignore)\s*"
+    r"\[(?P<codes>[A-Z0-9,\s]+)\]")
+
+
+@dataclass
+class PragmaIndex:
+    """Per-file suppression index built from comment tokens."""
+
+    #: line number -> codes suppressed on that line.
+    line_codes: Dict[int, Set[str]] = field(default_factory=dict)
+    #: codes suppressed for the entire file.
+    file_codes: Set[str] = field(default_factory=set)
+
+    def suppresses(self, line: int, code: str) -> bool:
+        if code in self.file_codes:
+            return True
+        return code in self.line_codes.get(line, frozenset())
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(code.strip() for code in raw.split(",") if code.strip())
+
+
+def collect_pragmas(source: str) -> PragmaIndex:
+    """Scan ``source`` for pragmas; tolerates unparsable tails.
+
+    Tokenization errors (which :func:`ast.parse` would have rejected
+    anyway) terminate the scan early rather than raising, so the driver
+    reports the syntax error once instead of twice.
+    """
+    index = PragmaIndex()
+    reader = io.StringIO(source).readline
+    try:
+        for token in tokenize.generate_tokens(reader):
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(token.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("kind") == "ignore-file":
+                index.file_codes.update(codes)
+            else:
+                line = token.start[0]
+                index.line_codes.setdefault(line, set()).update(codes)
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass
+    return index

@@ -24,6 +24,7 @@ from repro.constants import BYTES_PER_POLYGON
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.errors import HDoVError
 from repro.lod.selection import leaf_lod_fraction
+from repro.storage import pageio
 from repro.storage.pagedfile import PagedFile
 
 #: Record layout: object id (u32) + DoV (f32).
@@ -93,7 +94,8 @@ class NaiveCellList:
                 pages.append(payload)
             first = self.list_file.allocate_many(max(len(pages), 1))
             for i, payload in enumerate(pages):
-                self.list_file.write_page(first + i, payload)
+                pageio.write_page(self.list_file, first + i, payload,
+                                  component="baselines")
             self._directory[cell.cell_id] = (first, max(len(pages), 1)
                                              if pages else 1)
             if not pages:
@@ -111,7 +113,8 @@ class NaiveCellList:
         if entry is None:
             raise HDoVError(f"cell {cell_id} out of range")
         first, num_pages = entry
-        data = self.list_file.read_run(first, num_pages)
+        data = pageio.read_run(self.list_file, first, num_pages,
+                               component="baselines")
         result = NaiveResult(cell_id=cell_id, list_pages_read=num_pages)
         page_size = self.list_file.page_size
         for page_index in range(num_pages):

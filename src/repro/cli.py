@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Callable, Dict
@@ -108,6 +109,21 @@ def build_parser() -> argparse.ArgumentParser:
                          help="embed the full span list in the report")
     profile.add_argument("--output", default=None, metavar="FILE",
                          help="write the report to FILE (default: stdout)")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the repo's static-analysis rule suite (RPR codes)")
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files/directories to lint (default: src)")
+    lint.add_argument("--baseline", default=None, metavar="FILE",
+                      help="subtract the accepted violations in FILE")
+    lint.add_argument("--write-baseline", default=None, metavar="FILE",
+                      help="snapshot current violations to FILE and exit 0")
+    lint.add_argument("--format", default="text",
+                      choices=["text", "json"],
+                      help="diagnostic output format (default: text)")
+    lint.add_argument("--rules", action="store_true",
+                      help="list the registered rules and exit")
     return parser
 
 
@@ -130,9 +146,11 @@ def cmd_run(names, scale_name: str) -> int:
     scale = get_scale(scale_name)
     for name in names:
         _description, runner = EXPERIMENTS[name]
-        started = time.time()
+        # perf_counter, not time.time(): wall-clock can jump (NTP, DST)
+        # and RPR004 forbids it for elapsed-time measurement.
+        started = time.perf_counter()
         result = runner(scale)
-        elapsed = time.time() - started
+        elapsed = time.perf_counter() - started
         print()
         print(result.format_table())
         print(f"[{name} completed in {elapsed:.1f}s wall-clock "
@@ -157,12 +175,54 @@ def cmd_profile(args) -> int:
     return 0 if report["io"]["reconciled"] else 1
 
 
+def cmd_lint(args) -> int:
+    from repro.analysis import all_rules, lint_paths, save_baseline
+
+    if args.rules:
+        rules = [rule() for rule in all_rules()]
+        width = max(len(rule.code) for rule in rules)
+        for rule in rules:
+            print(f"  {rule.code:<{width}}  {rule.name}: {rule.summary}")
+        return 0
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    try:
+        result = lint_paths(paths, baseline_path=args.baseline)
+    except FileNotFoundError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline is not None:
+        save_baseline(args.write_baseline, result.before_baseline)
+        print(f"wrote baseline {args.write_baseline} "
+              f"({len(result.before_baseline)} accepted violations)")
+        return 0
+    if args.format == "json":
+        print(json.dumps({
+            "files_checked": result.files_checked,
+            "pragma_suppressed": result.pragma_suppressed,
+            "baseline_suppressed": result.baseline_suppressed,
+            "violations": [vars(d) for d in result.diagnostics],
+        }, indent=2))
+    else:
+        for diagnostic in result.diagnostics:
+            print(diagnostic.format())
+        suppressed = ""
+        if result.pragma_suppressed or result.baseline_suppressed:
+            suppressed = (f" ({result.pragma_suppressed} pragma-"
+                          f"suppressed, {result.baseline_suppressed} "
+                          f"baselined)")
+        print(f"repro lint: {len(result.diagnostics)} violation(s) in "
+              f"{result.files_checked} file(s){suppressed}")
+    return 0 if result.ok else 1
+
+
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
         return cmd_list()
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "lint":
+        return cmd_lint(args)
     return cmd_run(args.experiments, args.scale)
 
 

@@ -17,10 +17,11 @@ VISUAL system's memory footprint in Section 5.4's memory comparison.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Set
 
 from repro.core.search import HDoVSearch, SearchResult
 from repro.errors import HDoVError
+from repro.geometry.vec import PointLike
 
 
 @dataclass
@@ -73,7 +74,7 @@ class DeltaSearch:
 
     # -- queries -------------------------------------------------------------
 
-    def query_point(self, point, eta: float) -> SearchResult:
+    def query_point(self, point: PointLike, eta: float) -> SearchResult:
         return self.query_cell(self.search.env.grid.cell_of_point(point), eta)
 
     def query_cell(self, cell_id: int, eta: float) -> SearchResult:
@@ -125,7 +126,8 @@ class DeltaSearch:
             self._internals = new_internals
         return result
 
-    def _apply_budget(self, live_objects, live_internals) -> None:
+    def _apply_budget(self, live_objects: Set[int],
+                      live_internals: Set[int]) -> None:
         """Evict least-recently-used off-screen entries over budget."""
         if self.cache_budget_bytes is None:
             return

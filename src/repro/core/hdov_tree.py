@@ -20,7 +20,7 @@ baseline, or experiment needs, with I/O accounting split into
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.constants import (BYTES_PER_POLYGON, DEFAULT_FANOUT,
                              DEFAULT_LOD_RATIO, DEFAULT_MIN_FILL, PAGE_SIZE)
@@ -29,6 +29,7 @@ from repro.core.vpage import CellVPages, instantiate_cell
 from repro.errors import HDoVError
 from repro.lod.internal import InternalLOD, build_internal_lods
 from repro.rtree.bulk import str_bulk_load
+from repro.rtree.node import Node
 from repro.rtree.persist import NodeStore
 from repro.rtree.tree import RTree
 from repro.scene.objects import Scene
@@ -150,10 +151,10 @@ class HDoVEnvironment:
         self.light_stats.reset()
         self.heavy_stats.reset()
 
-    def snapshot(self):
+    def snapshot(self) -> Tuple[IOStats, IOStats]:
         return (self.light_stats.snapshot(), self.heavy_stats.snapshot())
 
-    def delta(self, snap):
+    def delta(self, snap: Tuple[IOStats, IOStats]) -> Tuple[IOStats, IOStats]:
         light, heavy = snap
         return (self.light_stats.delta(light), self.heavy_stats.delta(heavy))
 
@@ -263,7 +264,7 @@ def _collect_descendants(tree: RTree) -> Dict[int, List[int]]:
     """Node offset -> sorted descendant object ids."""
     result: Dict[int, List[int]] = {}
 
-    def visit(node) -> List[int]:
+    def visit(node: Node) -> List[int]:
         if node.is_leaf:
             ids = [e.object_id for e in node.entries]
         else:

@@ -31,6 +31,7 @@ from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.search import HDoVSearch, SearchResult
 from repro.errors import HDoVError
 from repro.geometry.frustum import Camera, Frustum
+from repro.rtree.node import Node
 
 
 @dataclass
@@ -112,7 +113,7 @@ class PrioritizedSearch:
         self._walk(root, eta, frustum, inside, result)
         return result
 
-    def _walk(self, node, eta: float, frustum: Frustum, inside: bool,
+    def _walk(self, node: Node, eta: float, frustum: Frustum, inside: bool,
               result: SearchResult) -> None:
         """One phase over one node.
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
+from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
 
@@ -58,11 +59,11 @@ class StorageScheme(abc.ABC):
         self._warm: Dict[int, object] = {}
         self.prefetched_flips = 0
         registry = get_registry()
-        self._m_flips = registry.counter("scheme_flips_total",
+        self._m_flips = registry.counter(names.SCHEME_FLIPS,
                                          scheme=self.name)
         self._m_warm_flips = registry.counter(
-            "scheme_prefetched_flips_total", scheme=self.name)
-        self._m_prefetches = registry.counter("scheme_prefetches_total",
+            names.SCHEME_PREFETCHED_FLIPS, scheme=self.name)
+        self._m_prefetches = registry.counter(names.SCHEME_PREFETCHES,
                                               scheme=self.name)
 
     # -- build -------------------------------------------------------------
@@ -114,13 +115,18 @@ class StorageScheme(abc.ABC):
     def _load_cell(self, cell_id: int) -> None:
         """Scheme-specific flip work (may be a no-op)."""
 
-    def _capture_cell_state(self):
+    def _capture_cell_state(self) -> Optional[object]:
         """Snapshot of the loaded per-cell state (``None`` when the
         scheme keeps none, like the horizontal scheme)."""
         return None
 
-    def _restore_cell_state(self, state) -> None:
-        """Install a snapshot captured by :meth:`_capture_cell_state`."""
+    def _restore_cell_state(self, state: object) -> None:
+        """Install a snapshot captured by :meth:`_capture_cell_state`.
+
+        Deliberately a no-op hook (not abstract): stateless schemes
+        never capture anything, so there is nothing to restore.
+        """
+        return None
 
     @abc.abstractmethod
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional
 from repro.core.schemes.base import StorageBreakdown, StorageScheme
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
+from repro.storage import pageio
+from repro.storage.pagedfile import PagedFile
 from repro.storage.serializer import decode_vpage, encode_vpage
 
 
@@ -26,7 +28,7 @@ class HorizontalScheme(StorageScheme):
 
     name = "horizontal"
 
-    def __init__(self, vpage_file) -> None:
+    def __init__(self, vpage_file: PagedFile) -> None:
         super().__init__(vpage_file, index_file=None)
         self.num_nodes = 0
         self.num_cells = 0
@@ -56,8 +58,9 @@ class HorizontalScheme(StorageScheme):
                     ventries = [(0.0, 0)] * count
                 payload = encode_vpage(offset, ventries,
                                        self.vpage_file.page_size)
-                self.vpage_file.write_page(self._page_id(offset, cell.cell_id),
-                                           payload)
+                pageio.write_page(self.vpage_file,
+                                  self._page_id(offset, cell.cell_id),
+                                  payload, component="schemes")
 
     def _page_id(self, node_offset: int, cell_id: int) -> int:
         assert self._first_page is not None
@@ -72,7 +75,9 @@ class HorizontalScheme(StorageScheme):
         cell_id = self._require_cell()
         if not 0 <= node_offset < self.num_nodes:
             raise SchemeError(f"node offset {node_offset} out of range")
-        data = self.vpage_file.read_page(self._page_id(node_offset, cell_id))
+        data = pageio.read_page(self.vpage_file,
+                                self._page_id(node_offset, cell_id),
+                                component="schemes")
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

@@ -19,6 +19,8 @@ from repro.constants import SIZE_INTEGER, SIZE_POINTER
 from repro.core.schemes.base import StorageBreakdown, StorageScheme
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
+from repro.storage import pageio
+from repro.storage.pagedfile import PagedFile
 from repro.storage.serializer import (decode_index_pairs, decode_vpage,
                                       encode_index_pairs, encode_vpage)
 
@@ -27,7 +29,8 @@ class IndexedVerticalScheme(StorageScheme):
 
     name = "indexed-vertical"
 
-    def __init__(self, vpage_file, index_file) -> None:
+    def __init__(self, vpage_file: PagedFile,
+                 index_file: PagedFile) -> None:
         super().__init__(vpage_file, index_file)
         self.num_nodes = 0
         self.num_cells = 0
@@ -55,7 +58,8 @@ class IndexedVerticalScheme(StorageScheme):
             for offset in cell.visible_offsets_dfs():
                 payload = encode_vpage(offset, cell.ventries(offset),
                                        self.vpage_file.page_size)
-                pointer = self.vpage_file.append_page(payload)
+                pointer = pageio.append_page(self.vpage_file, payload,
+                                             component="schemes")
                 pairs.append((offset, pointer))
                 self._total_vpages += 1
             self._total_pairs += len(pairs)
@@ -64,8 +68,9 @@ class IndexedVerticalScheme(StorageScheme):
             num_pages = max(int(math.ceil(len(data) / page_size)), 1)
             first = self.index_file.allocate_many(num_pages)
             for i in range(num_pages):
-                self.index_file.write_page(first + i,
-                                           data[i * page_size:(i + 1) * page_size])
+                pageio.write_page(self.index_file, first + i,
+                                  data[i * page_size:(i + 1) * page_size],
+                                  component="schemes")
             self._directory[cell.cell_id] = (first, num_pages, len(pairs))
         self._built = True
 
@@ -78,14 +83,16 @@ class IndexedVerticalScheme(StorageScheme):
             raise SchemeError(f"cell {cell_id} out of range")
         first, num_pages, pair_count = entry
         assert self.index_file is not None
-        data = self.index_file.read_run(first, num_pages)
+        data = pageio.read_run(self.index_file, first, num_pages,
+                               component="schemes")
         pairs = decode_index_pairs(data, pair_count)
         self._current_pairs = dict(pairs)
 
-    def _capture_cell_state(self):
+    def _capture_cell_state(self) -> Optional[Dict[int, int]]:
         return dict(self._current_pairs) if self._current_pairs else None
 
-    def _restore_cell_state(self, state) -> None:
+    def _restore_cell_state(self, state: object) -> None:
+        assert isinstance(state, dict)
         self._current_pairs = dict(state)
 
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
@@ -95,7 +102,8 @@ class IndexedVerticalScheme(StorageScheme):
         pointer = self._current_pairs.get(node_offset)
         if pointer is None:
             return None
-        data = self.vpage_file.read_page(pointer)
+        data = pageio.read_page(self.vpage_file, pointer,
+                                component="schemes")
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

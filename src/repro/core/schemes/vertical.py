@@ -26,6 +26,8 @@ from repro.constants import SIZE_POINTER
 from repro.core.schemes.base import StorageBreakdown, StorageScheme
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
+from repro.storage import pageio
+from repro.storage.pagedfile import PagedFile
 from repro.storage.serializer import (NIL, decode_pointer_array, decode_vpage,
                                       encode_pointer_array, encode_vpage)
 
@@ -34,7 +36,8 @@ class VerticalScheme(StorageScheme):
 
     name = "vertical"
 
-    def __init__(self, vpage_file, index_file) -> None:
+    def __init__(self, vpage_file: PagedFile,
+                 index_file: PagedFile) -> None:
         super().__init__(vpage_file, index_file)
         self.num_nodes = 0
         self.num_cells = 0
@@ -66,7 +69,8 @@ class VerticalScheme(StorageScheme):
             for offset in cell.visible_offsets_dfs():
                 payload = encode_vpage(offset, cell.ventries(offset),
                                        self.vpage_file.page_size)
-                pointers[offset] = self.vpage_file.append_page(payload)
+                pointers[offset] = pageio.append_page(
+                    self.vpage_file, payload, component="schemes")
                 self._total_vpages += 1
             self._write_segment(cell.cell_id, pointers)
 
@@ -77,7 +81,8 @@ class VerticalScheme(StorageScheme):
         page_size = self.index_file.page_size
         for i in range(self._segment_pages):
             chunk = data[i * page_size:(i + 1) * page_size]
-            self.index_file.write_page(first + i, chunk)
+            pageio.write_page(self.index_file, first + i, chunk,
+                              component="schemes")
 
     def _segment_first_page(self, cell_id: int) -> int:
         assert self._index_first_page is not None
@@ -94,14 +99,16 @@ class VerticalScheme(StorageScheme):
         if not 0 <= cell_id < self.num_cells:
             raise SchemeError(f"cell {cell_id} out of range")
         assert self.index_file is not None
-        data = self.index_file.read_run(self._segment_first_page(cell_id),
-                                        self._segment_pages)
+        data = pageio.read_run(self.index_file,
+                               self._segment_first_page(cell_id),
+                               self._segment_pages, component="schemes")
         self._current_segment = decode_pointer_array(data, self.num_nodes)
 
-    def _capture_cell_state(self):
+    def _capture_cell_state(self) -> Optional[List[int]]:
         return list(self._current_segment) if self._current_segment else None
 
-    def _restore_cell_state(self, state) -> None:
+    def _restore_cell_state(self, state: object) -> None:
+        assert isinstance(state, list)
         self._current_segment = list(state)
 
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
@@ -113,7 +120,8 @@ class VerticalScheme(StorageScheme):
         pointer = self._current_segment[node_offset]
         if pointer == NIL:
             return None
-        data = self.vpage_file.read_page(pointer)
+        data = pageio.read_page(self.vpage_file, pointer,
+                                component="schemes")
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

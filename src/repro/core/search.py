@@ -18,12 +18,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.schemes.base import StorageScheme
 from repro.errors import HDoVError
+from repro.geometry.vec import PointLike
 from repro.lod.selection import internal_lod_fraction, leaf_lod_fraction
+from repro.rtree.node import Node
+from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 
@@ -51,7 +54,7 @@ class RetrievedInternal:
     polygons: int
     bytes: int
     #: Leaf objects this internal LoD stands in for.
-    covered_objects: tuple
+    covered_objects: Tuple[int, ...]
 
 
 @dataclass
@@ -133,19 +136,19 @@ class HDoVSearch:
                         for n in env.tree.iter_nodes_dfs()}
         registry = get_registry()
         scheme_name = self._scheme.name
-        self._m_queries = registry.counter("search_queries_total",
+        self._m_queries = registry.counter(names.SEARCH_QUERIES,
                                            scheme=scheme_name)
-        self._m_nodes = registry.counter("search_nodes_read_total",
+        self._m_nodes = registry.counter(names.SEARCH_NODES_READ,
                                          scheme=scheme_name)
-        self._m_vpages = registry.counter("search_vpages_read_total",
+        self._m_vpages = registry.counter(names.SEARCH_VPAGES_READ,
                                           scheme=scheme_name)
-        self._m_pruned = registry.counter("search_pruned_total",
+        self._m_pruned = registry.counter(names.SEARCH_PRUNED,
                                           scheme=scheme_name)
-        self._m_terminated = registry.counter("search_terminated_total",
+        self._m_terminated = registry.counter(names.SEARCH_TERMINATED,
                                               scheme=scheme_name)
-        self._m_recursed = registry.counter("search_recursed_total",
+        self._m_recursed = registry.counter(names.SEARCH_RECURSED,
                                             scheme=scheme_name)
-        self._m_results = registry.histogram("search_results",
+        self._m_results = registry.histogram(names.SEARCH_RESULTS,
                                              scheme=scheme_name)
 
     @property
@@ -154,7 +157,7 @@ class HDoVSearch:
 
     # -- public API -----------------------------------------------------------
 
-    def query_point(self, point, eta: float) -> SearchResult:
+    def query_point(self, point: PointLike, eta: float) -> SearchResult:
         """Visibility query at a viewpoint; resolves the cell and runs
         :meth:`query_cell`."""
         return self.query_cell(self.env.grid.cell_of_point(point), eta)
@@ -187,7 +190,8 @@ class HDoVSearch:
 
     # -- figure 3 -------------------------------------------------------------
 
-    def _search_node(self, node, eta: float, result: SearchResult) -> None:
+    def _search_node(self, node: Node, eta: float,
+                     result: SearchResult) -> None:
         ventries = self._scheme.ventries(node.node_offset)
         if ventries is None:
             # No page was read, so nothing is counted: a fully-hidden

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Set
 
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.schemes.indexed_vertical import IndexedVerticalScheme
-from repro.core.vpage import instantiate_cell
+from repro.core.vpage import CellVPages, instantiate_cell
 from repro.errors import HDoVError
 from repro.rtree.delete import delete as rtree_delete
 from repro.visibility.cells import CellGrid
@@ -152,23 +152,27 @@ def _reassign_offsets_and_rewrite(env: HDoVEnvironment) -> None:
     env.node_store = store
 
 
-def _rewrite_segment(scheme: IndexedVerticalScheme, cell_vp) -> None:
+def _rewrite_segment(scheme: IndexedVerticalScheme,
+                     cell_vp: CellVPages) -> None:
     """Append fresh V-pages + index segment for one cell and repoint
     the directory (old pages become garbage)."""
     import math
 
+    from repro.storage import pageio
     from repro.storage.serializer import encode_index_pairs, encode_vpage
     pairs = []
     for offset in cell_vp.visible_offsets_dfs():
         payload = encode_vpage(offset, cell_vp.ventries(offset),
                                scheme.vpage_file.page_size)
-        pointer = scheme.vpage_file.append_page(payload)
+        pointer = pageio.append_page(scheme.vpage_file, payload,
+                                     component="core")
         pairs.append((offset, pointer))
     data = encode_index_pairs(pairs)
     page_size = scheme.index_file.page_size
     num_pages = max(int(math.ceil(len(data) / page_size)), 1)
     first = scheme.index_file.allocate_many(num_pages)
     for i in range(num_pages):
-        scheme.index_file.write_page(
-            first + i, data[i * page_size:(i + 1) * page_size])
+        pageio.write_page(
+            scheme.index_file, first + i,
+            data[i * page_size:(i + 1) * page_size], component="core")
     scheme._directory[cell_vp.cell_id] = (first, num_pages, len(pairs))

@@ -7,12 +7,19 @@ remember axis conventions.  All functions accept array-likes and return
 
 from __future__ import annotations
 
+from typing import Sequence, Union
+
 import numpy as np
 
 from repro.errors import GeometryError
 
+#: Anything :func:`numpy.asarray` turns into a 3-D point: a float
+#: sequence or an already-built array.  Shared annotation for every
+#: ``point``/``viewpoint`` parameter across the repo.
+PointLike = Union[Sequence[float], np.ndarray]
 
-def as_vec3(value) -> np.ndarray:
+
+def as_vec3(value: PointLike) -> np.ndarray:
     """Coerce ``value`` to a float64 vector of shape ``(3,)``.
 
     Raises :class:`GeometryError` if the shape is wrong or any component is
@@ -26,7 +33,7 @@ def as_vec3(value) -> np.ndarray:
     return arr
 
 
-def normalize(vec) -> np.ndarray:
+def normalize(vec: PointLike) -> np.ndarray:
     """Return ``vec`` scaled to unit length.
 
     Raises :class:`GeometryError` on a zero-length vector.
@@ -47,6 +54,6 @@ def normalize_rows(mat: np.ndarray) -> np.ndarray:
     return arr / norms[:, None]
 
 
-def distance(a, b) -> float:
+def distance(a: PointLike, b: PointLike) -> float:
     """Euclidean distance between two points."""
     return float(np.linalg.norm(as_vec3(a) - as_vec3(b)))

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
 
 from repro.errors import ObservabilityError
 
@@ -152,7 +152,7 @@ class MetricsRegistry:
     # -- instrument access -------------------------------------------------
 
     def _instrument(self, kind: str, name: str,
-                    labels: Dict[str, object]):
+                    labels: Dict[str, object]) -> Any:
         if not name:
             raise ObservabilityError("metric name must be non-empty")
         key = (name, _label_key(labels))
@@ -168,18 +168,18 @@ class MetricsRegistry:
                 self._kind_of[name] = kind
             return instrument
 
-    def counter(self, name: str, **labels) -> Counter:
+    def counter(self, name: str, **labels: object) -> Counter:
         return self._instrument("counter", name, labels)
 
-    def gauge(self, name: str, **labels) -> Gauge:
+    def gauge(self, name: str, **labels: object) -> Gauge:
         return self._instrument("gauge", name, labels)
 
-    def histogram(self, name: str, **labels) -> Histogram:
+    def histogram(self, name: str, **labels: object) -> Histogram:
         return self._instrument("histogram", name, labels)
 
     # -- reading -----------------------------------------------------------
 
-    def value(self, name: str, **labels) -> float:
+    def value(self, name: str, **labels: object) -> float:
         """Current value of one counter/gauge series (0.0 if never used)."""
         key = (name, _label_key(labels))
         instrument = self._metrics.get(key)

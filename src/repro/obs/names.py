@@ -1,0 +1,69 @@
+"""The registry of metric names — the only place series names may live.
+
+Every metric name passed to ``MetricsRegistry.counter()`` / ``gauge()`` /
+``histogram()`` / ``value()`` must be a constant imported from this
+module.  The lint rule RPR002 (``repro lint``) enforces it: a literal
+string at an instrument call site is a violation, because a typo there
+does not fail — it silently creates a *new* time series and the report
+that should have shown the real one reads zero.  Centralising the names
+also gives the unused-name check a ground truth: every constant defined
+here must be referenced somewhere in the library, so dead series are
+removed instead of lingering in dashboards.
+
+Naming convention (Prometheus style):
+
+* counters end in ``_total``;
+* gauges name the quantity they sample (``..._pages``);
+* histograms name the distribution (``search_results``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+# -- repro.storage.pagedfile: one series set per file label -----------------
+
+PAGEDFILE_READS = "pagedfile_reads_total"
+PAGEDFILE_WRITES = "pagedfile_writes_total"
+PAGEDFILE_SEEKS = "pagedfile_seeks_total"
+PAGEDFILE_SEQUENTIAL = "pagedfile_sequential_total"
+PAGEDFILE_BYTES_READ = "pagedfile_bytes_read_total"
+PAGEDFILE_BYTES_WRITTEN = "pagedfile_bytes_written_total"
+PAGEDFILE_SIMULATED_MS = "pagedfile_simulated_ms_total"
+
+# -- repro.storage.buffer: one series set per pool label --------------------
+
+BUFFERPOOL_HITS = "bufferpool_hits_total"
+BUFFERPOOL_MISSES = "bufferpool_misses_total"
+BUFFERPOOL_EVICTIONS = "bufferpool_evictions_total"
+BUFFERPOOL_PINS = "bufferpool_pins_total"
+BUFFERPOOL_UNPINS = "bufferpool_unpins_total"
+BUFFERPOOL_WRITEBACKS = "bufferpool_writebacks_total"
+BUFFERPOOL_RESIDENT_PAGES = "bufferpool_resident_pages"
+
+# -- repro.storage.pageio: cross-layer page traffic by component ------------
+
+PAGEIO_READS = "pageio_reads_total"
+PAGEIO_WRITES = "pageio_writes_total"
+
+# -- repro.core.search: one series set per scheme label ---------------------
+
+SEARCH_QUERIES = "search_queries_total"
+SEARCH_NODES_READ = "search_nodes_read_total"
+SEARCH_VPAGES_READ = "search_vpages_read_total"
+SEARCH_PRUNED = "search_pruned_total"
+SEARCH_TERMINATED = "search_terminated_total"
+SEARCH_RECURSED = "search_recursed_total"
+SEARCH_RESULTS = "search_results"
+
+# -- repro.core.schemes: one series set per scheme label --------------------
+
+SCHEME_FLIPS = "scheme_flips_total"
+SCHEME_PREFETCHED_FLIPS = "scheme_prefetched_flips_total"
+SCHEME_PREFETCHES = "scheme_prefetches_total"
+
+
+def registered_names() -> Dict[str, str]:
+    """``{constant name: series name}`` for every registered metric."""
+    return {key: value for key, value in globals().items()
+            if key.isupper() and isinstance(value, str)}

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from repro.core.hdov_tree import HDoVEnvironment, build_environment
+from repro.obs import names
 from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.trace import TraceRecorder, span, use_tracer
 from repro.scene.city import generate_city
@@ -65,13 +66,13 @@ def _per_file_io(registry: MetricsRegistry, baseline: Dict[str, float],
     """Registry counter deltas since ``baseline``, grouped per file."""
     delta = registry.delta(baseline)
     metric_of = {
-        "pagedfile_reads_total": "reads",
-        "pagedfile_writes_total": "writes",
-        "pagedfile_seeks_total": "seeks",
-        "pagedfile_sequential_total": "sequential_reads",
-        "pagedfile_bytes_read_total": "bytes_read",
-        "pagedfile_bytes_written_total": "bytes_written",
-        "pagedfile_simulated_ms_total": "simulated_ms",
+        names.PAGEDFILE_READS: "reads",
+        names.PAGEDFILE_WRITES: "writes",
+        names.PAGEDFILE_SEEKS: "seeks",
+        names.PAGEDFILE_SEQUENTIAL: "sequential_reads",
+        names.PAGEDFILE_BYTES_READ: "bytes_read",
+        names.PAGEDFILE_BYTES_WRITTEN: "bytes_written",
+        names.PAGEDFILE_SIMULATED_MS: "simulated_ms",
     }
     out: Dict[str, Dict[str, float]] = {}
     for pfile in files:
@@ -236,17 +237,17 @@ def run_profile(*, scale: str = "small", session: int = 1,
                 },
             },
             "search": {
-                "queries": registry.value("search_queries_total",
+                "queries": registry.value(names.SEARCH_QUERIES,
                                           scheme=active_scheme.name),
-                "nodes_read": registry.value("search_nodes_read_total",
+                "nodes_read": registry.value(names.SEARCH_NODES_READ,
                                              scheme=active_scheme.name),
-                "vpages_read": registry.value("search_vpages_read_total",
+                "vpages_read": registry.value(names.SEARCH_VPAGES_READ,
                                               scheme=active_scheme.name),
-                "pruned": registry.value("search_pruned_total",
+                "pruned": registry.value(names.SEARCH_PRUNED,
                                          scheme=active_scheme.name),
-                "terminated": registry.value("search_terminated_total",
+                "terminated": registry.value(names.SEARCH_TERMINATED,
                                              scheme=active_scheme.name),
-                "recursed": registry.value("search_recursed_total",
+                "recursed": registry.value(names.SEARCH_RECURSED,
                                            scheme=active_scheme.name),
             },
             "metrics": registry.delta(baseline),

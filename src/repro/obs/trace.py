@@ -17,7 +17,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import ContextManager, Dict, Iterator, List, Optional
 
 from repro.errors import ObservabilityError
 
@@ -82,7 +82,8 @@ class TraceRecorder:
         return (time.perf_counter() - self._epoch) * 1000.0
 
     @contextmanager
-    def span(self, name: str, **attrs) -> Iterator[Optional[SpanRecord]]:
+    def span(self, name: str,
+             **attrs: object) -> Iterator[Optional[SpanRecord]]:
         """Record a named interval; yields the record (or ``None`` when
         disabled or over the cap) so callers can attach attributes."""
         if not self.enabled:
@@ -171,7 +172,8 @@ def set_tracer(tracer: TraceRecorder) -> TraceRecorder:
     return previous
 
 
-def span(name: str, **attrs):
+def span(name: str,
+         **attrs: object) -> ContextManager[Optional[SpanRecord]]:
     """Record a span on the default recorder (no-op when disabled)."""
     return _default_tracer.span(name, **attrs)
 

@@ -10,6 +10,8 @@ can quantify what that design decision costs.
 
 from __future__ import annotations
 
+from typing import Dict, Optional
+
 from repro.rtree.persist import NodeStore, PersistedNode
 from repro.storage.buffer import BufferPool
 from repro.storage.serializer import decode_node
@@ -32,11 +34,11 @@ class CachedNodeStore:
         return self.store.num_nodes
 
     @property
-    def offset_to_page(self):
+    def offset_to_page(self) -> Dict[int, int]:
         return self.store.offset_to_page
 
     @property
-    def root_page(self):
+    def root_page(self) -> Optional[int]:
         return self.store.root_page
 
     def read_node(self, node_offset: int) -> PersistedNode:

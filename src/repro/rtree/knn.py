@@ -10,14 +10,16 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.errors import RTreeError
-from repro.geometry.vec import as_vec3
+from repro.geometry.vec import PointLike, as_vec3
+from repro.rtree.node import Node
 from repro.rtree.tree import RTree
 
 
-def knn_query(tree: RTree, point, k: int) -> List[Tuple[int, float]]:
+def knn_query(tree: RTree, point: PointLike,
+              k: int) -> List[Tuple[int, float]]:
     """The ``k`` objects with smallest MBR distance to ``point``.
 
     Returns ``(object_id, distance)`` pairs in ascending distance
@@ -28,11 +30,13 @@ def knn_query(tree: RTree, point, k: int) -> List[Tuple[int, float]]:
         raise RTreeError(f"k must be >= 1, got {k}")
     point = as_vec3(point)
     counter = itertools.count()          # tie-breaker for equal distances
-    heap: List[tuple] = [(0.0, next(counter), tree.root, None)]
+    heap: List[Tuple[float, int, Optional[Node], Optional[int]]] = [
+        (0.0, next(counter), tree.root, None)]
     result: List[Tuple[int, float]] = []
     while heap and len(result) < k:
         distance, _tie, node, object_id = heapq.heappop(heap)
         if node is None:
+            assert object_id is not None
             result.append((object_id, distance))
             continue
         for entry in node.entries:
@@ -46,7 +50,7 @@ def knn_query(tree: RTree, point, k: int) -> List[Tuple[int, float]]:
     return result
 
 
-def nearest_object(tree: RTree, point) -> Tuple[int, float]:
+def nearest_object(tree: RTree, point: PointLike) -> Tuple[int, float]:
     """Convenience wrapper: the single nearest object."""
     results = knn_query(tree, point, 1)
     if not results:

@@ -18,6 +18,7 @@ from repro.errors import RTreeError
 from repro.geometry.aabb import AABB
 from repro.rtree.node import Node
 from repro.rtree.tree import RTree
+from repro.storage import pageio
 from repro.storage.pagedfile import PagedFile
 from repro.storage.serializer import NIL, decode_node, encode_node
 
@@ -92,7 +93,8 @@ class NodeStore:
             kind = KIND_LEAF if node.is_leaf else KIND_INTERNAL
             payload = encode_node(kind, node.level, node.node_offset, entries,
                                   self.pfile.page_size)
-            self.pfile.write_page(page_id, payload)
+            pageio.write_page(self.pfile, page_id, payload,
+                              component="rtree")
         self.root_page = pages[0]
         return self.root_page
 
@@ -102,7 +104,7 @@ class NodeStore:
             page_id = self.offset_to_page[node_offset]
         except KeyError:
             raise RTreeError(f"unknown node offset {node_offset}") from None
-        data = self.pfile.read_page(page_id)
+        data = pageio.read_page(self.pfile, page_id, component="rtree")
         kind, level, stored_offset, entries = decode_node(data)
         if stored_offset != node_offset:
             raise RTreeError(

@@ -10,5 +10,7 @@ from repro.storage.disk import DiskModel, IOStats
 from repro.storage.pagedfile import PagedFile
 from repro.storage.buffer import BufferPool
 from repro.storage.objectstore import ObjectStore
+from repro.storage import pageio
 
-__all__ = ["DiskModel", "IOStats", "PagedFile", "BufferPool", "ObjectStore"]
+__all__ = ["DiskModel", "IOStats", "PagedFile", "BufferPool", "ObjectStore",
+           "pageio"]

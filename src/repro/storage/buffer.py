@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.errors import BufferPoolError
+from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
 
@@ -54,17 +55,17 @@ class BufferPool:
         self.misses = 0
         self.evictions = 0
         registry = get_registry()
-        self._m_hits = registry.counter("bufferpool_hits_total", pool=name)
-        self._m_misses = registry.counter("bufferpool_misses_total",
+        self._m_hits = registry.counter(names.BUFFERPOOL_HITS, pool=name)
+        self._m_misses = registry.counter(names.BUFFERPOOL_MISSES,
                                           pool=name)
-        self._m_evictions = registry.counter("bufferpool_evictions_total",
+        self._m_evictions = registry.counter(names.BUFFERPOOL_EVICTIONS,
                                              pool=name)
-        self._m_pins = registry.counter("bufferpool_pins_total", pool=name)
-        self._m_unpins = registry.counter("bufferpool_unpins_total",
+        self._m_pins = registry.counter(names.BUFFERPOOL_PINS, pool=name)
+        self._m_unpins = registry.counter(names.BUFFERPOOL_UNPINS,
                                           pool=name)
         self._m_writebacks = registry.counter(
-            "bufferpool_writebacks_total", pool=name)
-        self._m_resident = registry.gauge("bufferpool_resident_pages",
+            names.BUFFERPOOL_WRITEBACKS, pool=name)
+        self._m_resident = registry.gauge(names.BUFFERPOOL_RESIDENT_PAGES,
                                           pool=name)
 
     # -- internals ------------------------------------------------------------

@@ -18,6 +18,7 @@ from typing import Dict, Optional
 
 from repro.constants import PAGE_SIZE
 from repro.errors import PageNotFoundError, StorageError
+from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.disk import DiskModel, IOStats
 
@@ -60,17 +61,17 @@ class PagedFile:
         #: :class:`~repro.storage.buffer.BufferPool`).
         self.file_id = next(_FILE_IDS)
         registry = get_registry()
-        self._m_reads = registry.counter("pagedfile_reads_total", file=name)
-        self._m_writes = registry.counter("pagedfile_writes_total", file=name)
-        self._m_seeks = registry.counter("pagedfile_seeks_total", file=name)
+        self._m_reads = registry.counter(names.PAGEDFILE_READS, file=name)
+        self._m_writes = registry.counter(names.PAGEDFILE_WRITES, file=name)
+        self._m_seeks = registry.counter(names.PAGEDFILE_SEEKS, file=name)
         self._m_sequential = registry.counter(
-            "pagedfile_sequential_total", file=name)
+            names.PAGEDFILE_SEQUENTIAL, file=name)
         self._m_bytes_read = registry.counter(
-            "pagedfile_bytes_read_total", file=name)
+            names.PAGEDFILE_BYTES_READ, file=name)
         self._m_bytes_written = registry.counter(
-            "pagedfile_bytes_written_total", file=name)
+            names.PAGEDFILE_BYTES_WRITTEN, file=name)
         self._m_ms = registry.counter(
-            "pagedfile_simulated_ms_total", file=name)
+            names.PAGEDFILE_SIMULATED_MS, file=name)
         self._path = path
         self._mem: Dict[int, bytes] = {}
         self._fh = None
@@ -100,7 +101,7 @@ class PagedFile:
     def __enter__(self) -> "PagedFile":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _check_open(self) -> None:

@@ -1,0 +1,56 @@
+"""Accounted page access for the layers above ``repro.storage``.
+
+``PagedFile.read_page`` / ``write_page`` charge the disk model, but a
+call site sprinkled through the tree, scheme and baseline layers is an
+accounting hazard: PR 1's phantom-read and seek-miscounting bugs all
+lived at exactly such call sites, and a new one can bypass whatever
+invariant the storage layer enforces next.  This module is therefore the
+*only* sanctioned way for code outside ``repro.storage`` to touch pages
+(lint rule RPR001 enforces it), and it buys two things:
+
+* a single choke point where cross-cutting concerns (assertions, future
+  async backends, tracing) attach once instead of per call site;
+* per-layer attribution — every access increments
+  ``pageio_reads_total{component=...}`` / ``pageio_writes_total{...}``,
+  so reports can answer *which layer* issued the I/O, not just which
+  file received it.
+
+The wrappers deliberately fetch their counters from the *current*
+registry on every call rather than caching handles: callers like
+``repro profile`` swap registries mid-process (``use_registry``), and a
+cached handle would keep writing to the retired registry — the same
+stale-identity bug class as the ``id()``-keyed buffer frames PR 1 fixed.
+"""
+
+from __future__ import annotations
+
+from repro.obs import names
+from repro.obs.metrics import get_registry
+from repro.storage.pagedfile import PagedFile
+
+
+def read_page(pfile: PagedFile, page_id: int, *, component: str) -> bytes:
+    """Read one page, attributing it to ``component``."""
+    get_registry().counter(names.PAGEIO_READS, component=component).inc()
+    return pfile.read_page(page_id)
+
+
+def write_page(pfile: PagedFile, page_id: int, data: bytes, *,
+               component: str) -> None:
+    """Write one page, attributing it to ``component``."""
+    get_registry().counter(names.PAGEIO_WRITES, component=component).inc()
+    pfile.write_page(page_id, data)
+
+
+def append_page(pfile: PagedFile, data: bytes, *, component: str) -> int:
+    """Allocate and write one page; returns the new page id."""
+    get_registry().counter(names.PAGEIO_WRITES, component=component).inc()
+    return pfile.append_page(data)
+
+
+def read_run(pfile: PagedFile, first_page: int, count: int, *,
+             component: str) -> bytes:
+    """Read ``count`` consecutive pages as one buffer."""
+    get_registry().counter(names.PAGEIO_READS,
+                           component=component).inc(count)
+    return pfile.read_run(first_page, count)

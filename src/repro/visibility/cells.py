@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.errors import VisibilityError
 from repro.geometry.aabb import AABB
+from repro.geometry.vec import PointLike
 
 
 @dataclass(frozen=True)
@@ -55,7 +56,7 @@ class CellGrid:
     def cell_ids(self) -> Iterator[int]:
         return iter(range(self.num_cells))
 
-    def cell_of_point(self, point) -> int:
+    def cell_of_point(self, point: PointLike) -> int:
         """Cell id containing ``point`` (clamped to the grid edge)."""
         p = np.asarray(point, dtype=np.float64)
         ix = int((p[0] - self.origin[0]) / self.cell_size)

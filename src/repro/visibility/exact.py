@@ -20,6 +20,7 @@ from repro.geometry.mesh import TriangleMesh
 from repro.geometry.rays import (NO_HIT, cube_map_solid_angles,
                                  rays_vs_triangles, sphere_direction_grid)
 from repro.geometry.solidangle import FULL_SPHERE
+from repro.geometry.vec import PointLike
 
 
 class MeshDoVEstimator:
@@ -55,7 +56,7 @@ class MeshDoVEstimator:
         self.triangles = np.concatenate(packed, axis=0)
         self.owners = np.asarray(owners, dtype=np.int64)
 
-    def dov_from_viewpoint(self, viewpoint, chunk: int = 512
+    def dov_from_viewpoint(self, viewpoint: PointLike, chunk: int = 512
                            ) -> Dict[int, float]:
         """Per-object DoV with exact triangle occlusion."""
         viewpoint = np.asarray(viewpoint, dtype=np.float64)

@@ -29,6 +29,7 @@ from repro.errors import VisibilityError
 from repro.geometry.mesh import TriangleMesh
 from repro.geometry.rays import cube_map_solid_angles
 from repro.geometry.solidangle import FULL_SPHERE
+from repro.geometry.vec import PointLike
 
 #: The 6 cube faces: (forward axis, sign, u axis, v axis).
 _FACES: Tuple[Tuple[int, float, int, int], ...] = (
@@ -86,7 +87,7 @@ class CubeMapRasterizer:
 
     # -- rendering ------------------------------------------------------------
 
-    def render_item_buffer(self, viewpoint) -> np.ndarray:
+    def render_item_buffer(self, viewpoint: PointLike) -> np.ndarray:
         """Item buffers for all 6 faces, shape ``(6, res, res)``.
 
         Each pixel holds the owner *row* of the nearest triangle (or
@@ -179,7 +180,7 @@ class CubeMapRasterizer:
 
     # -- DoV ------------------------------------------------------------
 
-    def dov_from_viewpoint(self, viewpoint) -> Dict[int, float]:
+    def dov_from_viewpoint(self, viewpoint: PointLike) -> Dict[int, float]:
         """Item-buffer DoV: object id -> covered solid angle / 4*pi."""
         buffers = self.render_item_buffer(viewpoint)
         result: Dict[int, float] = {}

@@ -24,6 +24,7 @@ import numpy as np
 from repro.errors import VisibilityError
 from repro.geometry.rays import cube_map_solid_angles, sphere_direction_grid
 from repro.geometry.solidangle import FULL_SPHERE
+from repro.geometry.vec import PointLike
 
 
 class RayCastDoVEstimator:
@@ -114,7 +115,7 @@ class RayCastDoVEstimator:
             out[idx] = np.where(np.isfinite(best_t), best, -1)
         return out
 
-    def dov_from_viewpoint(self, viewpoint) -> Dict[int, float]:
+    def dov_from_viewpoint(self, viewpoint: PointLike) -> Dict[int, float]:
         """Point DoV (eq. 1's visible part, projected): object id -> DoV.
 
         Objects with no owned texel are absent (DoV 0).
@@ -133,7 +134,8 @@ class RayCastDoVEstimator:
             result[oid] = float(min(sums[row] / FULL_SPHERE, 1.0))
         return result
 
-    def dov_from_region(self, viewpoints: Sequence) -> Dict[int, float]:
+    def dov_from_region(self,
+                        viewpoints: Sequence[PointLike]) -> Dict[int, float]:
         """Conservative region DoV (eq. 2): per-object max over samples."""
         if not len(viewpoints):
             raise VisibilityError("need at least one sample viewpoint")

@@ -110,7 +110,10 @@ class AdaptiveVisualSystem:
             ))
             self.eta_trace.append(self.eta)
             new_eta = self.controller.update(self.eta, frame_ms)
-            if new_eta != self.eta:
+            # Change detection, not numeric comparison: the controller
+            # returns self.eta unchanged (same object) when it makes no
+            # adjustment, so exact inequality is the right test here.
+            if new_eta != self.eta:  # repro: ignore[RPR005]
                 self.eta = new_eta
                 # The cached cell result was computed at the old eta.
                 last_cell = None
