@@ -67,6 +67,10 @@ def collect_pragmas(source: str) -> PragmaIndex:
             else:
                 line = token.start[0]
                 index.line_codes.setdefault(line, set()).update(codes)
-    except (tokenize.TokenError, IndentationError, SyntaxError):
+    # An unparsable file yields an empty pragma index on purpose: the
+    # lint driver reports the parse failure itself as RPR000, so a
+    # second error from here would be noise.
+    except (tokenize.TokenError, IndentationError,  # repro: ignore[RPR008]
+            SyntaxError):
         pass
     return index

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RPR001``–``RPR006``).
+"""The repo-specific lint rules (``RPR001``–``RPR008``).
 
 Each rule encodes an invariant that a past bug (PR 1's I/O-accounting
 fixes) or a structural decision (the observability layer) established,
@@ -47,6 +47,13 @@ STRICT_PACKAGES = (
 
 #: The module metric-name constants must come from (RPR002).
 NAMES_MODULE = "repro.obs.names"
+
+#: Modules whose *job* is absorbing and transmuting failures (RPR008).
+#: Only here may an exception be caught and deliberately dropped.
+FAULT_BOUNDARY_MODULES = frozenset({
+    "repro.storage.faults",
+    "repro.storage.retry",
+})
 
 #: Registry methods that take a metric name as first argument.
 METRIC_METHODS = frozenset({"counter", "gauge", "histogram", "value"})
@@ -435,6 +442,62 @@ class FloatEqualityRule(ModuleRule):
                     "floating-point ==/!= on a DoV/eta expression; only "
                     "zero-guards are exact (invisibility is stored as "
                     "0.0) — use math.isclose or an explicit tolerance")
+
+
+@register
+class SilentExceptionRule(ModuleRule):
+    """RPR008: no silent exception swallowing outside the fault boundary.
+
+    PR 3 introduced a layer whose *purpose* is to absorb storage
+    failures — which makes a stray ``except: pass`` anywhere else twice
+    as dangerous: it looks like resilience but is actually a dropped
+    error with no retry, no degradation and no metric.  Swallowing is
+    therefore confined to the designated fault-boundary modules
+    (``repro.storage.faults``, ``repro.storage.retry``); everywhere else
+    an exception must be handled, transmuted or re-raised.  Bare
+    ``except:`` is flagged regardless of body — it catches
+    ``KeyboardInterrupt``/``SystemExit`` too, which no library code
+    should intercept.
+    """
+
+    code = "RPR008"
+    name = "silent-exception"
+    summary = ("silent exception swallowing (except-pass or bare except) "
+               "is only allowed in the designated fault-boundary modules "
+               "repro.storage.faults / repro.storage.retry")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.module in FAULT_BOUNDARY_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.diagnostic(
+                    self, node,
+                    "bare 'except:' catches KeyboardInterrupt and "
+                    "SystemExit; name the exceptions (and handle them)")
+            elif self._is_silent(node.body):
+                yield ctx.diagnostic(
+                    self, node,
+                    "exception caught and silently dropped; handle it, "
+                    "transmute it, or move the swallow into a "
+                    "fault-boundary module (repro.storage.faults/retry)")
+
+    @staticmethod
+    def _is_silent(body: Sequence[ast.stmt]) -> bool:
+        """True when the handler does nothing observable: only ``pass``,
+        ``...`` and bare string constants (comments in statement form)."""
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Expr) and \
+                    isinstance(stmt.value, ast.Constant) and \
+                    (stmt.value.value is Ellipsis
+                     or isinstance(stmt.value.value, str)):
+                continue
+            return False
+        return True
 
 
 #: Typing-container names that are meaningless without parameters under

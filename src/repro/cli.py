@@ -7,11 +7,15 @@ Usage::
     python -m repro run fig7 fig8 table3
     python -m repro run all --scale small
     python -m repro profile [--scale small] [--session 1] [--eta 0.001]
+    python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
 
 ``run`` prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison); ``profile`` runs
 one instrumented walkthrough and emits a JSON report of where the
-simulated milliseconds and page I/Os go (see README, "Profiling").
+simulated milliseconds and page I/Os go (see README, "Profiling");
+``chaos`` replays a session under a named fault plan and reports frames
+survived, degradations, retries, and the fidelity delta (see README,
+"Chaos testing").
 """
 
 from __future__ import annotations
@@ -110,6 +114,32 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--output", default=None, metavar="FILE",
                          help="write the report to FILE (default: stdout)")
 
+    chaos = sub.add_parser(
+        "chaos",
+        help="replay a walkthrough under a fault plan; emit a JSON report")
+    chaos.add_argument("--scale", default="small",
+                       choices=["small", "medium", "large"],
+                       help="environment scale (default: small)")
+    chaos.add_argument("--session", type=int, default=1,
+                       choices=[1, 2, 3],
+                       help="motion pattern (default: 1, normal walk)")
+    chaos.add_argument("--eta", type=float, default=0.001,
+                       help="DoV threshold (default: 0.001)")
+    chaos.add_argument("--frames", type=int, default=None,
+                       help="frame count (default: the scale's)")
+    chaos.add_argument("--scheme", default=None,
+                       help="storage scheme (default: the scale's)")
+    chaos.add_argument("--plan", default="aggressive",
+                       help="fault plan name (default: aggressive; "
+                            "see --list-plans)")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="fault-injector seed (default: 0); the "
+                            "same seed reproduces the same report")
+    chaos.add_argument("--output", default=None, metavar="FILE",
+                       help="write the report to FILE (default: stdout)")
+    chaos.add_argument("--list-plans", action="store_true",
+                       help="list the built-in fault plans and exit")
+
     lint = sub.add_parser(
         "lint",
         help="run the repo's static-analysis rule suite (RPR codes)")
@@ -175,6 +205,41 @@ def cmd_profile(args) -> int:
     return 0 if report["io"]["reconciled"] else 1
 
 
+def cmd_chaos(args) -> int:
+    from repro.obs.chaos import run_chaos
+    from repro.storage.faults import named_plan, plan_names
+
+    if args.list_plans:
+        width = max(len(name) for name in plan_names())
+        for name in plan_names():
+            rules = named_plan(name).rules
+            kinds = ", ".join(sorted({r.kind for r in rules}))
+            print(f"  {name:<{width}}  {len(rules)} rule(s): {kinds}")
+        return 0
+    from repro.errors import StorageError
+
+    try:
+        report = run_chaos(scale=args.scale, session=args.session,
+                           eta=args.eta, frames=args.frames,
+                           scheme=args.scheme, plan=args.plan,
+                           seed=args.seed)
+    except StorageError as exc:
+        # An unknown plan name is a usage error, not a crash.
+        print(f"repro chaos: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        outcome = report["outcome"]
+        print(f"wrote {args.output} (completed={outcome['completed']}, "
+              f"survived {outcome['frames_survived']}"
+              f"/{outcome['frames_total']} frames)")
+    else:
+        print(text)
+    return 0 if report["outcome"]["completed"] else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import all_rules, lint_paths, save_baseline
 
@@ -221,6 +286,8 @@ def main(argv=None) -> int:
         return cmd_list()
     if args.command == "profile":
         return cmd_profile(args)
+    if args.command == "chaos":
+        return cmd_chaos(args)
     if args.command == "lint":
         return cmd_lint(args)
     return cmd_run(args.experiments, args.scale)

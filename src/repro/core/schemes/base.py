@@ -78,7 +78,16 @@ class StorageScheme(abc.ABC):
     def flip_to_cell(self, cell_id: int) -> None:
         """Make ``cell_id`` the current cell, paying the flip I/O —
         unless the cell was prefetched, in which case the warm state is
-        installed for free."""
+        installed for free.
+
+        Exception safety: every scheme's ``_load_cell`` reads and
+        decodes *before* assigning its segment state, and
+        ``current_cell`` advances only after ``_load_cell`` returns.
+        A flip that fails mid-read (e.g. an injected storage fault)
+        therefore leaves the previous cell fully intact — the search
+        layer relies on this to degrade the one query and retry the
+        flip on the next frame.
+        """
         if cell_id == self.current_cell:
             return
         warm = self._warm.pop(cell_id, None)

@@ -12,6 +12,15 @@ For each entry of each visited node:
 I/O is charged as the traversal goes: one page per node read, one per
 V-page read (through the storage scheme), and the model-data pages for
 every retrieved LoD (through the object store).
+
+Degradation (PR 3): a V-page that is still unreadable after the pageio
+retry budget — corrupt media or an exhausted transient fault — does not
+abort the query.  The affected subtree falls back to its view-invariant
+internal LoD at full detail (the HDoV-tree carries one for *every*
+node, root included), which needs no V-page at all; the answer stays
+complete, merely coarser.  Only the R-tree node file itself is beyond
+rescue: without the node there is no entry list and no internal-LoD
+pointer to fall back to, so node-store errors stay fatal.
 """
 
 from __future__ import annotations
@@ -22,13 +31,18 @@ from typing import List, Optional, Tuple
 
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.schemes.base import StorageScheme
-from repro.errors import HDoVError
+from repro.errors import HDoVError, PageCorruptError, TransientIOError
 from repro.geometry.vec import PointLike
 from repro.lod.selection import internal_lod_fraction, leaf_lod_fraction
 from repro.rtree.node import Node
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.obs.trace import span
+
+#: Storage failures the search survives by degrading to internal LoDs.
+#: Anything else (PageNotFoundError, closed files, decode errors) is a
+#: bug or unrecoverable state and propagates.
+_DEGRADABLE = (PageCorruptError, TransientIOError)
 
 
 @dataclass(frozen=True)
@@ -75,6 +89,9 @@ class SearchResult:
     recursed: int = 0
     #: True when this query changed the current cell (paid a flip).
     flipped: bool = False
+    #: Subtrees degraded to their internal LoD after a V-page read
+    #: failed beyond recovery (see the module docstring).
+    degraded: int = 0
 
     @property
     def total_polygons(self) -> int:
@@ -169,12 +186,21 @@ class HDoVSearch:
         with span("search", cell=cell_id, eta=eta,
                   scheme=self._scheme.name) as sp:
             flipped = self._scheme.current_cell != cell_id
-            with span("flip_to_cell", cell=cell_id):
-                self._scheme.flip_to_cell(cell_id)
             result = SearchResult(cell_id=cell_id, eta=eta, flipped=flipped)
-            root = self.env.node_store.read_node(0)
-            result.nodes_read += 1
-            self._search_node(root, eta, result)
+            try:
+                with span("flip_to_cell", cell=cell_id):
+                    self._scheme.flip_to_cell(cell_id)
+            except _DEGRADABLE:
+                # The cell's V-page index is unreadable: no per-node DoV
+                # at all.  Degrade the *whole* query to the root's
+                # internal LoD — complete, view-invariant, coarse.  The
+                # scheme keeps its previous cell state, so the next
+                # flip retries from scratch.
+                self._degrade(0, result)
+            else:
+                root = self.env.node_store.read_node(0)
+                result.nodes_read += 1
+                self._search_node(root, eta, result)
             if sp is not None:
                 sp.attrs.update(nodes_read=result.nodes_read,
                                 vpages_read=result.vpages_read,
@@ -192,7 +218,14 @@ class HDoVSearch:
 
     def _search_node(self, node: Node, eta: float,
                      result: SearchResult) -> None:
-        ventries = self._scheme.ventries(node.node_offset)
+        try:
+            ventries = self._scheme.ventries(node.node_offset)
+        except _DEGRADABLE:
+            # This node's V-page is gone for good (retries exhausted or
+            # CRC mismatch).  Its subtree degrades to the node's own
+            # internal LoD; sibling branches continue unaffected.
+            self._degrade(node.node_offset, result)
+            return
         if ventries is None:
             # No page was read, so nothing is counted: a fully-hidden
             # cell must report vpages_read == 0, not one phantom read.
@@ -271,4 +304,28 @@ class HDoVSearch:
         covered = tuple(self.env.descendants.get(node_offset, ()))
         result.internals.append(RetrievedInternal(
             node_offset=node_offset, dov=dov, fraction=fraction,
+            polygons=polygons, bytes=nbytes, covered_objects=covered))
+
+    # -- degradation ----------------------------------------------------------
+
+    def _degrade(self, node_offset: int, result: SearchResult) -> None:
+        """Stand a node's full-detail internal LoD in for its subtree.
+
+        Without the V-page there is no DoV to blend by, so the fallback
+        is conservative: fraction 1.0 (the finest internal LoD) and a
+        recorded DoV of 0.0 — visibly distinct from any genuine eq.-5
+        retrieval, whose DoV is positive.
+        """
+        record = self.env.internals.get(node_offset)
+        if record is None:
+            raise HDoVError(
+                f"no internal LoD to degrade to for node {node_offset}")
+        polygons = record.lod.chain.interpolated_polygons(1.0)
+        nbytes = record.bytes_for_fraction(1.0)
+        if self.fetch_models:
+            self.env.object_store.fetch_prefix(record.blob_id, nbytes)
+        covered = tuple(self.env.descendants.get(node_offset, ()))
+        result.degraded += 1
+        result.internals.append(RetrievedInternal(
+            node_offset=node_offset, dov=0.0, fraction=1.0,
             polygons=polygons, bytes=nbytes, covered_objects=covered))

@@ -23,6 +23,24 @@ class PageNotFoundError(StorageError):
     """A page id was requested that has never been allocated."""
 
 
+class TransientIOError(StorageError):
+    """A page access failed in a way that may succeed on retry.
+
+    Raised by the fault-injection layer (and, in a real deployment, by a
+    flaky backend).  The ``repro.storage.pageio`` facade retries these
+    with bounded backoff before letting them escape.
+    """
+
+
+class PageCorruptError(StorageError):
+    """A page's payload did not match its integrity checksum on read.
+
+    Unlike :class:`TransientIOError` this is *not* retried — bad bytes on
+    the medium stay bad — but V-page consumers degrade to the
+    view-invariant internal LoD instead of failing the query.
+    """
+
+
 class BufferPoolError(StorageError):
     """Buffer-pool misuse (e.g. evicting a pinned page, unpin underflow)."""
 

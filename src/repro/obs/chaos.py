@@ -1,0 +1,172 @@
+"""``repro chaos`` — a recorded walkthrough replayed under fault injection.
+
+Builds a fresh environment against a fresh metrics registry, replays the
+requested session twice — once clean (the fidelity baseline), once with
+a named :class:`~repro.storage.faults.FaultPlan` installed beneath the
+storage layer — and reports what the resilience stack did about it:
+frames survived, subtrees degraded to internal LoDs, pageio retries and
+give-ups, corrupt pages detected, and the fidelity cost of degrading.
+
+The report is plain dict/list/scalar data, ready for ``json.dump``, and
+deliberately contains *no wall-clock measurements*: everything in it is
+a pure function of (scale, session, eta, scheme, plan, seed), so two
+runs with the same arguments must produce byte-identical JSON — the CI
+chaos job diffs exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.hdov_tree import build_environment
+from repro.errors import ReproError
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.obs.profile import _environment_files
+from repro.scene.city import generate_city
+from repro.storage.faults import FaultInjector, named_plan
+from repro.storage.pagedfile import PagedFile
+from repro.visibility.cells import CellGrid
+from repro.walkthrough.session import make_session
+from repro.walkthrough.visual import VisualSystem, WalkthroughReport
+
+
+def _per_file_values(files: List[PagedFile],
+                     read: Callable[[str], float]) -> Dict[str, float]:
+    """``{file name: counter value}``, omitting files that never fired.
+
+    ``read`` looks one file's counter up by name — a callable rather
+    than a metric-name string so the name constant stays visible at the
+    ``registry.value()`` call site (RPR002).
+    """
+    out: Dict[str, float] = {}
+    for pfile in files:
+        value = read(pfile.name)
+        if value:
+            out[pfile.name] = value
+    return out
+
+
+def run_chaos(*, scale: str = "small", session: int = 1,
+              eta: float = 0.001, frames: Optional[int] = None,
+              scheme: Optional[str] = None, plan: str = "aggressive",
+              seed: int = 0) -> Dict[str, object]:
+    """Replay one session under ``plan``; returns the JSON-ready report.
+
+    Parameters
+    ----------
+    scale:
+        Experiment scale name (``small`` / ``medium`` / ``large``).
+    session:
+        Motion pattern 1, 2 or 3 (Section 5.4's recorded sessions).
+    eta:
+        DoV threshold for the VISUAL system.
+    frames:
+        Frame count override (defaults to the scale's session length).
+    scheme:
+        Storage scheme to walk (defaults to the scale's only scheme).
+    plan:
+        Name of a built-in fault plan (see
+        :func:`repro.storage.faults.plan_names`).
+    seed:
+        Seed for the fault injector's RNG; same seed, same report.
+    """
+    # Imported here: repro.experiments pulls in every experiment driver,
+    # which the library layers must not depend on at import time.
+    from repro.experiments.config import get_scale
+
+    fault_plan = named_plan(plan)
+    experiment = get_scale(scale)
+    registry = MetricsRegistry()
+    with use_registry(registry):
+        scene = generate_city(experiment.city)
+        grid = CellGrid.covering(scene.bounds(), experiment.cell_size)
+        env = build_environment(scene, grid, experiment.hdov)
+        num_frames = frames if frames is not None \
+            else experiment.session_frames
+        path = make_session(session, scene.bounds(), num_frames=num_frames,
+                            street_pitch=experiment.city.pitch)
+
+        # Clean replay first: the fidelity baseline, and — because it
+        # runs before the injector exists — it cannot consume injector
+        # randomness, so the fault sequence depends only on the seed
+        # and the (deterministic) faulted workload.
+        clean_system = VisualSystem(
+            env, eta=eta, scheme=scheme,
+            cache_budget_bytes=experiment.visual_cache_budget_bytes)
+        clean = clean_system.run(path)
+
+        # The faulted replay starts from the same cold state.
+        active = clean_system.delta.search.scheme
+        active.current_cell = None
+        active.drop_prefetches()
+        env.reset_stats()
+
+        files = _environment_files(env)
+        injector = FaultInjector(fault_plan, seed=seed)
+        injector.install(*files)
+        error: Optional[str] = None
+        faulted: Optional[WalkthroughReport] = None
+        try:
+            faulted_system = VisualSystem(
+                env, eta=eta, scheme=scheme,
+                cache_budget_bytes=experiment.visual_cache_budget_bytes)
+            faulted = faulted_system.run(path)
+        except ReproError as exc:
+            # Only a fault the degradation ladder cannot absorb (an
+            # unreadable R-tree node, a give-up outside a V-page read)
+            # lands here; the report says so instead of crashing.
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            injector.uninstall()
+
+        completed = faulted is not None
+        frames_survived = len(faulted.frames) if faulted is not None else 0
+        clean_fidelity = clean.avg_fidelity()
+        faulted_fidelity = (faulted.avg_fidelity()
+                            if faulted is not None else float("nan"))
+
+        report: Dict[str, object] = {
+            "chaos": {
+                "scale": scale,
+                "session": path.name,
+                "eta": eta,
+                "scheme": active.name,
+                "frames": num_frames,
+                "plan": fault_plan.name,
+                "seed": seed,
+            },
+            "outcome": {
+                "completed": completed,
+                "error": error,
+                "frames_total": num_frames,
+                "frames_survived": frames_survived,
+            },
+            "faults": {
+                "injected": dict(sorted(injector.injected.items())),
+                "total_injected": injector.total_injected(),
+            },
+            "resilience": {
+                "degraded_frames": (faulted.degraded_frames()
+                                    if faulted is not None else 0),
+                "total_degradations": (faulted.total_degradations()
+                                       if faulted is not None else 0),
+                "frames_degraded_total":
+                    registry.value(names.FRAMES_DEGRADED),
+                "retries": _per_file_values(
+                    files, lambda f: registry.value(
+                        names.PAGEIO_RETRIES, file=f)),
+                "giveups": _per_file_values(
+                    files, lambda f: registry.value(
+                        names.PAGEIO_GIVEUPS, file=f)),
+                "pages_corrupt": _per_file_values(
+                    files, lambda f: registry.value(
+                        names.PAGES_CORRUPT, file=f)),
+            },
+            "fidelity": {
+                "clean": clean_fidelity,
+                "faulted": faulted_fidelity,
+                "delta": faulted_fidelity - clean_fidelity,
+            },
+        }
+        return report

@@ -46,6 +46,12 @@ BUFFERPOOL_RESIDENT_PAGES = "bufferpool_resident_pages"
 PAGEIO_READS = "pageio_reads_total"
 PAGEIO_WRITES = "pageio_writes_total"
 
+# -- repro.storage.retry / faults: resilience events, labelled by file ------
+
+PAGEIO_RETRIES = "pageio_retries_total"
+PAGEIO_GIVEUPS = "pageio_giveups_total"
+PAGES_CORRUPT = "pages_corrupt_total"
+
 # -- repro.core.search: one series set per scheme label ---------------------
 
 SEARCH_QUERIES = "search_queries_total"
@@ -61,6 +67,10 @@ SEARCH_RESULTS = "search_results"
 SCHEME_FLIPS = "scheme_flips_total"
 SCHEME_PREFETCHED_FLIPS = "scheme_prefetched_flips_total"
 SCHEME_PREFETCHES = "scheme_prefetches_total"
+
+# -- repro.walkthrough: degradation accounting ------------------------------
+
+FRAMES_DEGRADED = "frames_degraded_total"
 
 
 def registered_names() -> Dict[str, str]:

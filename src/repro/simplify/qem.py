@@ -48,7 +48,9 @@ def _optimal_position(quadric: np.ndarray, v1: np.ndarray,
         if abs(np.linalg.det(system)) > 1e-10:
             solution = np.linalg.solve(system, np.array([0.0, 0.0, 0.0, 1.0]))
             return solution[:3]
-    except np.linalg.LinAlgError:
+    # A singular quadric has no unique minimiser; falling through to the
+    # endpoint candidates below IS the handling, not a dropped error.
+    except np.linalg.LinAlgError:  # repro: ignore[RPR008]
         pass
     candidates = [v1, v2, (v1 + v2) / 2.0]
     errors = [_vertex_error(quadric, c) for c in candidates]

@@ -4,13 +4,24 @@ This package replaces the raw-disk substrate of the paper's prototype.
 Every page access is counted and charged against a deterministic
 :class:`~repro.storage.disk.DiskModel`, which is how the library produces
 reproducible "time" numbers on any machine.
+
+Resilience (PR 3) lives here too: :mod:`repro.storage.faults` injects
+deterministic failures beneath :class:`PagedFile`, and
+:mod:`repro.storage.retry` absorbs the transient ones at the
+:mod:`~repro.storage.pageio` facade.
 """
 
 from repro.storage.disk import DiskModel, IOStats
 from repro.storage.pagedfile import PagedFile
 from repro.storage.buffer import BufferPool
 from repro.storage.objectstore import ObjectStore
+from repro.storage.faults import (FaultInjector, FaultPlan, FaultRule,
+                                  named_plan, plan_names)
+from repro.storage.retry import (DEFAULT_RETRY_POLICY, RetryPolicy,
+                                 run_with_retry)
 from repro.storage import pageio
 
 __all__ = ["DiskModel", "IOStats", "PagedFile", "BufferPool", "ObjectStore",
-           "pageio"]
+           "FaultInjector", "FaultPlan", "FaultRule", "named_plan",
+           "plan_names", "RetryPolicy", "DEFAULT_RETRY_POLICY",
+           "run_with_retry", "pageio"]

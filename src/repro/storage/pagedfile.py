@@ -14,18 +14,30 @@ from __future__ import annotations
 
 import itertools
 import os
-from typing import Dict, Optional
+import struct
+import zlib
+from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.constants import PAGE_SIZE
-from repro.errors import PageNotFoundError, StorageError
+from repro.errors import PageCorruptError, PageNotFoundError, StorageError
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.disk import DiskModel, IOStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.faults import FaultInjector
 
 #: Process-wide monotonic file identity.  ``id(pfile)`` is unusable as a
 #: cache key because a garbage-collected file's address can be reused by
 #: a new object; these ids are never reused within a process.
 _FILE_IDS = itertools.count()
+
+#: On-disk page trailer: magic ("HDOV") + CRC32 of the logical payload.
+#: The magic distinguishes a real trailer from the all-zero trailer of a
+#: lazily allocated (never written) page, whose zero payload is valid.
+_TRAILER = struct.Struct("<II")
+_TRAILER_MAGIC = 0x48444F56
+_ZERO_TRAILER = bytes(_TRAILER.size)
 
 
 class PagedFile:
@@ -45,6 +57,16 @@ class PagedFile:
     path:
         Optional real filesystem path.  When given, pages are persisted to
         the file; otherwise pages live in an in-process dict.
+
+    Notes
+    -----
+    Disk-backed pages carry an 8-byte integrity trailer (magic + CRC32
+    of the logical payload), so each physical page is ``page_size + 8``
+    bytes while every API — including I/O accounting — stays in logical
+    ``page_size`` units.  A mismatch on read raises
+    :class:`~repro.errors.PageCorruptError`.  The in-memory backend
+    keeps its checksums in a side dict and verifies them only while a
+    fault injector is installed, keeping the happy path allocation-free.
     """
 
     def __init__(self, name: str, *, page_size: int = PAGE_SIZE,
@@ -74,8 +96,14 @@ class PagedFile:
             names.PAGEDFILE_SIMULATED_MS, file=name)
         self._path = path
         self._mem: Dict[int, bytes] = {}
+        self._crcs: Dict[int, int] = {}
+        self._faults: Optional["FaultInjector"] = None
         self._fh = None
         self._num_pages = 0
+        #: Physical bytes per page: logical payload plus, on disk, the
+        #: integrity trailer.  Accounting always uses logical page_size.
+        self._physical_page_size = (page_size if path is None
+                                    else page_size + _TRAILER.size)
         self._last_accessed: Optional[int] = None
         self._closed = False
         if path is not None:
@@ -85,15 +113,28 @@ class PagedFile:
             self._fh = open(path, mode)
             self._fh.seek(0, os.SEEK_END)
             size = self._fh.tell()
-            if size % page_size != 0:
+            if size % self._physical_page_size != 0:
                 raise StorageError(
-                    f"{path}: size {size} is not a multiple of page_size")
-            self._num_pages = size // page_size
+                    f"{path}: size {size} is not a multiple of the "
+                    f"physical page size {self._physical_page_size}")
+            self._num_pages = size // self._physical_page_size
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self) -> None:
+        """Flush, fsync and close the backend; safe to call twice.
+
+        Durability bug fixed here: the old close dropped whatever the
+        OS had buffered, so a crash right after "successful" close could
+        lose pages.  ``__exit__`` after an explicit close (or a double
+        ``close()``) is a no-op rather than an error — the common
+        ``with``-block-plus-cleanup pattern must not raise.
+        """
+        if self._closed:
+            return
         if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
         self._closed = True
@@ -107,6 +148,33 @@ class PagedFile:
     def _check_open(self) -> None:
         if self._closed:
             raise StorageError(f"{self.name}: file is closed")
+
+    # -- fault injection -----------------------------------------------------
+
+    @property
+    def faults(self) -> Optional["FaultInjector"]:
+        """The installed fault injector, or None (the happy path)."""
+        return self._faults
+
+    def install_faults(self, injector: Optional["FaultInjector"]) -> None:
+        """Attach (or, with None, detach) a fault injector.
+
+        Prefer :meth:`FaultInjector.install`, which also tracks the file
+        for a later bulk ``uninstall``.
+        """
+        self._faults = injector
+
+    def charge_delay_ms(self, ms: float) -> None:
+        """Charge extra simulated latency (fault spikes, retry backoff).
+
+        Both ledgers move together — the shared :class:`IOStats` clock
+        and the per-file metric — so ``repro profile`` reconciliation
+        holds under fault injection too.
+        """
+        if ms < 0:
+            raise StorageError(f"{self.name}: negative delay {ms}")
+        self.stats.simulated_ms += ms
+        self._m_ms.inc(ms)
 
     # -- allocation ------------------------------------------------------------
 
@@ -138,7 +206,7 @@ class PagedFile:
         first = self._num_pages
         self._num_pages += count
         if self._fh is not None:
-            self._fh.truncate(self._num_pages * self.page_size)
+            self._fh.truncate(self._num_pages * self._physical_page_size)
         return first
 
     # -- access ------------------------------------------------------------
@@ -170,22 +238,74 @@ class PagedFile:
                 f"{self.name}: page {page_id} of {self._num_pages}")
 
     def read_page(self, page_id: int) -> bytes:
-        """Read one page, charging the disk model."""
+        """Read one page, charging the disk model.
+
+        The access is charged *before* the fault hooks run: a failed
+        real I/O still pays the seek, and both ledgers must count every
+        attempt or the retry layer would make I/O look free.
+        """
         self._check_open()
         self._validate(page_id)
         self._charge(page_id, write=False)
+        if self._faults is not None:
+            self._faults.before_read(self, page_id)
         if self._fh is None:
-            data = self._mem.get(page_id)
+            stored = self._mem.get(page_id)
             # Allocated but never written: lazily materialise zeros.
-            return data if data is not None else bytes(self.page_size)
-        self._fh.seek(page_id * self.page_size)
-        data = self._fh.read(self.page_size)
-        if len(data) != self.page_size:
-            raise StorageError(f"{self.name}: short read at page {page_id}")
+            data = stored if stored is not None else bytes(self.page_size)
+            if self._faults is not None:
+                data = self._faults.filter_read(self, page_id, data)
+                self._verify_mem(page_id, data)
+            return data
+        self._fh.seek(page_id * self._physical_page_size)
+        raw = self._fh.read(self._physical_page_size)
+        if len(raw) != self._physical_page_size:
+            raise self._corrupt(page_id, "short read")
+        data = raw[:self.page_size]
+        trailer = raw[self.page_size:]
+        if self._faults is not None:
+            data = self._faults.filter_read(self, page_id, data)
+        self._verify_disk(page_id, data, trailer)
         return data
 
+    def _corrupt(self, page_id: int, why: str) -> PageCorruptError:
+        """Count and build (not raise) a corruption error."""
+        # Lazily created so fault-free runs register no new series.
+        get_registry().counter(names.PAGES_CORRUPT, file=self.name).inc()
+        return PageCorruptError(
+            f"{self.name}: page {page_id} corrupt ({why})")
+
+    def _verify_disk(self, page_id: int, data: bytes,
+                     trailer: bytes) -> None:
+        if trailer == _ZERO_TRAILER:
+            # Lazily allocated, never written: zeros are the contract.
+            if data.count(0) != len(data):
+                raise self._corrupt(page_id, "unwritten page not zero")
+            return
+        magic, crc = _TRAILER.unpack(trailer)
+        if magic != _TRAILER_MAGIC:
+            raise self._corrupt(page_id, "bad trailer magic")
+        if crc != zlib.crc32(data):
+            raise self._corrupt(page_id, "CRC mismatch")
+
+    def _verify_mem(self, page_id: int, data: bytes) -> None:
+        """Checksum check for the memory backend (faulted runs only)."""
+        expected = self._crcs.get(page_id)
+        if expected is None:
+            if data.count(0) != len(data):
+                raise self._corrupt(page_id, "unwritten page not zero")
+            return
+        if expected != zlib.crc32(data):
+            raise self._corrupt(page_id, "CRC mismatch")
+
     def write_page(self, page_id: int, data: bytes) -> None:
-        """Write one full page, charging the disk model."""
+        """Write one full page, charging the disk model.
+
+        The integrity trailer is computed from the payload the *caller*
+        handed in, while fault filters may tear the bytes that actually
+        reach the backend — which is exactly how a torn write becomes a
+        detectable CRC mismatch on the next read.
+        """
         self._check_open()
         self._validate(page_id)
         if len(data) > self.page_size:
@@ -194,11 +314,16 @@ class PagedFile:
         if len(data) < self.page_size:
             data = data + bytes(self.page_size - len(data))
         self._charge(page_id, write=True)
+        crc = zlib.crc32(data)
+        if self._faults is not None:
+            self._faults.before_write(self, page_id)
+            data = self._faults.filter_write(self, page_id, data)
         if self._fh is None:
             self._mem[page_id] = bytes(data)
+            self._crcs[page_id] = crc
         else:
-            self._fh.seek(page_id * self.page_size)
-            self._fh.write(data)
+            self._fh.seek(page_id * self._physical_page_size)
+            self._fh.write(data + _TRAILER.pack(_TRAILER_MAGIC, crc))
 
     def append_page(self, data: bytes) -> int:
         """Allocate and write in one step; returns the new page id."""

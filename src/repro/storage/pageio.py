@@ -20,37 +20,68 @@ registry on every call rather than caching handles: callers like
 ``repro profile`` swap registries mid-process (``use_registry``), and a
 cached handle would keep writing to the retired registry — the same
 stale-identity bug class as the ``id()``-keyed buffer frames PR 1 fixed.
+
+The facade is also where resilience attaches (PR 3): every operation
+runs under :func:`repro.storage.retry.run_with_retry`, so a transient
+fault injected below is absorbed here — with bounded, simulated-clock
+backoff — before any scheme or search code ever sees it.  When no fault
+injector is installed the retry wrapper short-circuits to a bare call.
 """
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
+from repro.storage.retry import (DEFAULT_RETRY_POLICY, RetryPolicy,
+                                 run_with_retry)
 
 
-def read_page(pfile: PagedFile, page_id: int, *, component: str) -> bytes:
+def read_page(pfile: PagedFile, page_id: int, *, component: str,
+              retry: Optional[RetryPolicy] = None) -> bytes:
     """Read one page, attributing it to ``component``."""
     get_registry().counter(names.PAGEIO_READS, component=component).inc()
-    return pfile.read_page(page_id)
+    return run_with_retry(lambda: pfile.read_page(page_id), pfile,
+                          retry if retry is not None
+                          else DEFAULT_RETRY_POLICY)
 
 
 def write_page(pfile: PagedFile, page_id: int, data: bytes, *,
-               component: str) -> None:
+               component: str,
+               retry: Optional[RetryPolicy] = None) -> None:
     """Write one page, attributing it to ``component``."""
     get_registry().counter(names.PAGEIO_WRITES, component=component).inc()
-    pfile.write_page(page_id, data)
+    run_with_retry(lambda: pfile.write_page(page_id, data), pfile,
+                   retry if retry is not None else DEFAULT_RETRY_POLICY)
 
 
-def append_page(pfile: PagedFile, data: bytes, *, component: str) -> int:
-    """Allocate and write one page; returns the new page id."""
+def append_page(pfile: PagedFile, data: bytes, *, component: str,
+                retry: Optional[RetryPolicy] = None) -> int:
+    """Allocate and write one page; returns the new page id.
+
+    The allocation is not retried (it cannot fail transiently); only
+    the write is, so a retry never allocates a second page.
+    """
     get_registry().counter(names.PAGEIO_WRITES, component=component).inc()
-    return pfile.append_page(data)
+    page_id = pfile.allocate()
+    run_with_retry(lambda: pfile.write_page(page_id, data), pfile,
+                   retry if retry is not None else DEFAULT_RETRY_POLICY)
+    return page_id
 
 
 def read_run(pfile: PagedFile, first_page: int, count: int, *,
-             component: str) -> bytes:
-    """Read ``count`` consecutive pages as one buffer."""
+             component: str,
+             retry: Optional[RetryPolicy] = None) -> bytes:
+    """Read ``count`` consecutive pages as one buffer.
+
+    Retried as a unit: a transient failure mid-run re-reads the whole
+    run (charging each page again), which keeps the facade's contract —
+    the caller either gets the full buffer or the final error.
+    """
     get_registry().counter(names.PAGEIO_READS,
                            component=component).inc(count)
-    return pfile.read_run(first_page, count)
+    return run_with_retry(lambda: pfile.read_run(first_page, count), pfile,
+                          retry if retry is not None
+                          else DEFAULT_RETRY_POLICY)

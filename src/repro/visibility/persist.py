@@ -6,19 +6,35 @@ setup, and proportionally here), so the table is worth saving.  The
 format is a single ``.npz`` with three parallel arrays (cell id, object
 id, DoV) plus metadata — compact, portable, and loadable without
 rerunning a single ray.
+
+Robustness: the file starts with a magic marker plus a format version,
+and :func:`load_visibility` funnels every way an on-disk file can be
+wrong — truncated archive, not an archive at all, missing keys, ragged
+arrays, wrong version — into one :class:`~repro.errors.VisibilityError`
+that names the offending path, instead of leaking ``zipfile``/``numpy``
+internals to the caller.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import zipfile
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import VisibilityError
 from repro.visibility.dov import CellVisibility, VisibilityTable
 
-#: Format version written into the file, checked on load.
-FORMAT_VERSION = 1
+#: Identifies a file as ours before any other field is trusted.
+MAGIC = "repro-visibility"
+
+#: Format version written into the file, checked on load.  Version 2
+#: added the magic marker (version-1 files predate this library's first
+#: release, so there is no compatibility path to keep).
+FORMAT_VERSION = 2
+
+_REQUIRED_KEYS = ("magic", "version", "num_cells", "cell_ids",
+                  "object_ids", "dovs")
 
 
 def save_visibility(table: VisibilityTable, path: str) -> None:
@@ -33,6 +49,7 @@ def save_visibility(table: VisibilityTable, path: str) -> None:
             dovs.append(dov)
     np.savez_compressed(
         path,
+        magic=np.asarray(MAGIC),
         version=np.int64(FORMAT_VERSION),
         num_cells=np.int64(table.num_cells),
         cell_ids=np.asarray(cell_ids, dtype=np.int64),
@@ -41,19 +58,49 @@ def save_visibility(table: VisibilityTable, path: str) -> None:
     )
 
 
+def _read_arrays(path: str) -> Tuple[int, "np.ndarray", "np.ndarray",
+                                     "np.ndarray"]:
+    """Open, validate and extract the archive; errors all name ``path``."""
+    try:
+        with np.load(path) as data:
+            missing = [k for k in _REQUIRED_KEYS if k not in data.files]
+            if missing:
+                raise VisibilityError(
+                    f"{path}: not a visibility file "
+                    f"(missing {', '.join(missing)})")
+            magic = str(data["magic"])
+            if magic != MAGIC:
+                raise VisibilityError(
+                    f"{path}: bad magic {magic!r}; "
+                    f"not a visibility file")
+            version = int(data["version"])
+            if version != FORMAT_VERSION:
+                raise VisibilityError(
+                    f"{path}: unsupported visibility format "
+                    f"version {version} (expected {FORMAT_VERSION})")
+            return (int(data["num_cells"]), data["cell_ids"],
+                    data["object_ids"], data["dovs"])
+    except VisibilityError:
+        raise
+    except (OSError, ValueError, EOFError, KeyError,
+            zipfile.BadZipFile) as exc:
+        # numpy raises different exceptions for a truncated archive, a
+        # non-archive, and a pickle-rejected entry; normalise them all.
+        raise VisibilityError(
+            f"{path}: corrupt or unreadable visibility file "
+            f"({exc})") from exc
+
+
 def load_visibility(path: str) -> VisibilityTable:
-    """Read a table written by :func:`save_visibility`."""
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version != FORMAT_VERSION:
-            raise VisibilityError(
-                f"unsupported visibility format version {version}")
-        num_cells = int(data["num_cells"])
-        cell_ids = data["cell_ids"]
-        object_ids = data["object_ids"]
-        dovs = data["dovs"]
+    """Read a table written by :func:`save_visibility`.
+
+    Raises :class:`VisibilityError` naming ``path`` for anything that is
+    not a complete, well-formed visibility file of the current version.
+    """
+    num_cells, cell_ids, object_ids, dovs = _read_arrays(path)
     if not (len(cell_ids) == len(object_ids) == len(dovs)):
-        raise VisibilityError("corrupt visibility file: ragged arrays")
+        raise VisibilityError(
+            f"{path}: corrupt visibility file (ragged arrays)")
     table = VisibilityTable(num_cells)
     current: Optional[CellVisibility] = None
     for cid, oid, dov in zip(cell_ids, object_ids, dovs):

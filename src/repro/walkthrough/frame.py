@@ -57,6 +57,11 @@ class FrameRecord:
     #: Visual fidelity in [0, 1] (see metrics), NaN when not evaluated.
     fidelity: float
     resident_bytes: int
+    #: Subtrees shown at their fallback internal LoD this frame because
+    #: a V-page stayed unreadable (0 on the happy path).  Carried from
+    #: the frame's governing query: non-query frames rendering a
+    #: degraded answer set count as degraded too.
+    degraded: int = 0
 
     @property
     def total_ios(self) -> int:

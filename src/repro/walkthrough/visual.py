@@ -27,6 +27,8 @@ from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.search import HDoVSearch, SearchResult
 from repro.baselines.review import ReviewSystem
 from repro.errors import WalkthroughError
+from repro.obs import names
+from repro.obs.metrics import get_registry
 from repro.obs.trace import span
 from repro.walkthrough.frame import FrameModel, FrameRecord
 from repro.walkthrough.metrics import FidelityMetric
@@ -74,6 +76,14 @@ class WalkthroughReport:
     def peak_resident_bytes(self) -> int:
         return max((f.resident_bytes for f in self.frames), default=0)
 
+    def degraded_frames(self) -> int:
+        """Frames rendered with at least one degraded subtree."""
+        return sum(1 for f in self.frames if f.degraded > 0)
+
+    def total_degradations(self) -> int:
+        """Sum of per-frame degraded-subtree counts."""
+        return sum(f.degraded for f in self.frames)
+
 
 class VisualSystem:
     """The paper's prototype: HDoV-tree search + delta fetch.
@@ -111,6 +121,7 @@ class VisualSystem:
         last_cell: Optional[int] = None
         last_result: Optional[SearchResult] = None
         last_fidelity = float("nan")
+        last_degraded = 0
         for index, waypoint in enumerate(session):
             position = waypoint.position_array()
             cell_id = self.env.grid.cell_of_point(position)
@@ -120,6 +131,7 @@ class VisualSystem:
                 if queried:
                     last_result = self.delta.query_cell(cell_id, self.eta)
                     last_cell = cell_id
+                    last_degraded = last_result.degraded
                     if self.evaluate_fidelity:
                         last_fidelity = self._fidelity.score_hdov(last_result)
                 light, heavy = self.env.delta(snap)
@@ -131,6 +143,11 @@ class VisualSystem:
                                     heavy_ms=heavy.simulated_ms)
             io_ms = light.simulated_ms + heavy.simulated_ms
             polygons = last_result.total_polygons
+            if last_degraded:
+                # Created lazily (and fetched per call, not cached):
+                # fault-free runs register no series, and registry swaps
+                # by `repro chaos` / `repro profile` stay safe.
+                get_registry().counter(names.FRAMES_DEGRADED).inc()
             frames.append(FrameRecord(
                 frame_index=index,
                 cell_id=cell_id,
@@ -143,6 +160,7 @@ class VisualSystem:
                 fidelity=last_fidelity,
                 resident_bytes=(self.delta.resident_bytes
                                 + self.delta.search.scheme.resident_bytes()),
+                degraded=last_degraded,
             ))
         return WalkthroughReport(system=f"VISUAL(eta={self.eta})",
                                  session=session.name, frames=frames)

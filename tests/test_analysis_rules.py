@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` rule suite (RPR001-RPR007).
+"""Tests for the ``repro lint`` rule suite (RPR001-RPR008).
 
 Every registered rule must have at least one *triggering* and one
 *non-triggering* fixture here — ``test_every_rule_has_fixtures`` fails
@@ -24,7 +24,7 @@ from repro.errors import AnalysisError
 REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-             "RPR006", "RPR007"}
+             "RPR006", "RPR007", "RPR008"}
 
 
 def write_module(root: Path, relpath: str, source: str) -> Path:
@@ -167,6 +167,44 @@ FIXTURES = {
                 """),
         ],
     },
+    "RPR008": {
+        "bad": [("swallow.py", """
+            def load(path):
+                try:
+                    with open(path) as fh:
+                        return fh.read()
+                except ValueError:
+                    pass
+
+            def load_any(path):
+                try:
+                    with open(path) as fh:
+                        return fh.read()
+                except:
+                    return None
+            """)],
+        "good": [
+            ("handler.py", """
+                def load(path, log):
+                    try:
+                        with open(path) as fh:
+                            return fh.read()
+                    except ValueError as exc:
+                        log.warning("bad file %s: %s", path, exc)
+                        return None
+                """),
+            # The same swallow inside a designated fault-boundary
+            # module is that module's job, not a violation.
+            ("repro/storage/faults.py", """
+                def absorb(op):
+                    try:
+                        return op()
+                    except IOError:
+                        pass
+                    return None
+                """),
+        ],
+    },
 }
 
 
@@ -270,6 +308,66 @@ def test_rpr006_bare_generics_flagged(tmp_path):
             return rows[:1]
         """)])
     assert codes.count("RPR006") == 2
+
+
+def test_rpr008_flags_ellipsis_and_docstring_bodies(tmp_path):
+    # "..." and a lone string are just pass in costume.
+    codes = lint_codes(tmp_path, [("swallow.py", """
+        def quiet(op):
+            try:
+                return op()
+            except ValueError:
+                ...
+
+        def documented(op):
+            try:
+                return op()
+            except KeyError:
+                "tolerated"
+            return None
+        """)])
+    assert codes.count("RPR008") == 2
+
+
+def test_rpr008_bare_except_flagged_even_with_real_body(tmp_path):
+    codes = lint_codes(tmp_path, [("swallow.py", """
+        def load(op, log):
+            try:
+                return op()
+            except:
+                log.warning("failed")
+                return None
+        """)])
+    assert "RPR008" in codes
+
+
+def test_rpr008_reraise_and_transmute_are_fine(tmp_path):
+    codes = lint_codes(tmp_path, [("handler.py", """
+        def reraise(op):
+            try:
+                return op()
+            except ValueError:
+                raise
+
+        def transmute(op):
+            try:
+                return op()
+            except ValueError as exc:
+                raise RuntimeError("wrapped") from exc
+        """)])
+    assert "RPR008" not in codes
+
+
+def test_rpr008_retry_module_is_exempt(tmp_path):
+    codes = lint_codes(tmp_path, [("repro/storage/retry.py", """
+        def attempt(op):
+            try:
+                return op()
+            except IOError:
+                pass
+            return None
+        """)])
+    assert "RPR008" not in codes
 
 
 # -- driver: RPR000, pragmas, baseline, CLI ---------------------------------

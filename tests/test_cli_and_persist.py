@@ -43,13 +43,67 @@ def test_roundtrip_real_table(env, tmp_path):
             env.visibility.cell(cid).dov)
 
 
+def _savez_visibility(path, **overrides):
+    """A well-formed current-version archive, with fields overridable."""
+    fields = dict(magic=np.asarray("repro-visibility"),
+                  version=np.int64(2), num_cells=np.int64(1),
+                  cell_ids=np.array([], dtype=np.int64),
+                  object_ids=np.array([], dtype=np.int64),
+                  dovs=np.array([], dtype=np.float64))
+    fields.update(overrides)
+    np.savez(path, **{k: v for k, v in fields.items() if v is not None})
+
+
 def test_bad_version_rejected(tmp_path):
+    # Magic is present and correct, so this exercises the *version*
+    # check, not the missing-keys path.
     path = str(tmp_path / "bad.npz")
-    np.savez(path, version=np.int64(99), num_cells=np.int64(1),
-             cell_ids=np.array([], dtype=np.int64),
-             object_ids=np.array([], dtype=np.int64),
-             dovs=np.array([], dtype=np.float64))
-    with pytest.raises(VisibilityError):
+    _savez_visibility(path, version=np.int64(99))
+    with pytest.raises(VisibilityError, match="version 99"):
+        load_visibility(path)
+
+
+def test_missing_magic_rejected(tmp_path):
+    path = str(tmp_path / "nomagic.npz")
+    _savez_visibility(path, magic=None)
+    with pytest.raises(VisibilityError, match="nomagic"):
+        load_visibility(path)
+
+
+def test_wrong_magic_rejected(tmp_path):
+    path = str(tmp_path / "alien.npz")
+    _savez_visibility(path, magic=np.asarray("some-other-format"))
+    with pytest.raises(VisibilityError, match="alien"):
+        load_visibility(path)
+
+
+def test_truncated_file_rejected(tmp_path):
+    """A partially written archive (crash mid-save) raises a
+    VisibilityError naming the path, not a zipfile internal."""
+    path = str(tmp_path / "truncated.npz")
+    _savez_visibility(path)
+    with open(path, "rb") as fh:
+        whole = fh.read()
+    with open(path, "wb") as fh:
+        fh.write(whole[: len(whole) // 3])
+    with pytest.raises(VisibilityError, match="truncated"):
+        load_visibility(path)
+
+
+def test_garbage_file_rejected(tmp_path):
+    path = str(tmp_path / "garbage.npz")
+    with open(path, "wb") as fh:
+        fh.write(b"this is not a zip archive at all")
+    with pytest.raises(VisibilityError, match="garbage"):
+        load_visibility(path)
+
+
+def test_ragged_arrays_rejected(tmp_path):
+    path = str(tmp_path / "ragged.npz")
+    _savez_visibility(path, cell_ids=np.array([0, 0], dtype=np.int64),
+                      object_ids=np.array([1], dtype=np.int64),
+                      dovs=np.array([0.5], dtype=np.float64))
+    with pytest.raises(VisibilityError, match="ragged"):
         load_visibility(path)
 
 

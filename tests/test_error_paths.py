@@ -1,0 +1,157 @@
+"""Error-path contracts: the exact exception, from the exact layer.
+
+PR 3's degradation ladder only works if every layer fails with the
+advertised type: :class:`PageNotFoundError` for bad ids,
+:class:`StorageError` for closed files, :class:`SchemeError` for scheme
+misuse — and the search layer survives V-page failures by degrading
+while an unreadable R-tree node stays fatal.
+"""
+
+import os
+
+import pytest
+
+from repro.core.schemes import SCHEME_CLASSES
+from repro.core.search import HDoVSearch
+from repro.core.vpage import CellVPages
+from repro.errors import (PageNotFoundError, SchemeError, StorageError,
+                          TransientIOError)
+from repro.storage.faults import FaultInjector, FaultPlan, FaultRule
+from repro.storage.pagedfile import PagedFile
+
+
+# -- PagedFile: out-of-range ids ---------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["mem", "disk"])
+def test_out_of_range_page_ids_raise(backend, tmp_path):
+    path = (os.path.join(tmp_path, "f.bin") if backend == "disk" else None)
+    with PagedFile("f", page_size=64, path=path) as pf:
+        pf.allocate_many(3)
+        for bad in (-1, 3, 99):
+            with pytest.raises(PageNotFoundError):
+                pf.read_page(bad)
+            with pytest.raises(PageNotFoundError):
+                pf.write_page(bad, b"x")
+
+
+# -- PagedFile: use after close ----------------------------------------------
+
+
+@pytest.mark.parametrize("backend", ["mem", "disk"])
+def test_closed_file_use_raises_storage_error(backend, tmp_path):
+    path = (os.path.join(tmp_path, "f.bin") if backend == "disk" else None)
+    pf = PagedFile("f", page_size=64, path=path)
+    pid = pf.append_page(b"data")
+    pf.close()
+    with pytest.raises(StorageError):
+        pf.read_page(pid)
+    with pytest.raises(StorageError):
+        pf.write_page(pid, b"x")
+    with pytest.raises(StorageError):
+        pf.allocate()
+    with pytest.raises(StorageError):
+        pf.append_page(b"x")
+
+
+# -- Schemes: misuse raises SchemeError across all three ---------------------
+
+
+def _build_scheme(name):
+    cells = [CellVPages(cell_id=c,
+                        pages={o: [(0.2, 3)] for o in range(8)
+                               if (o + c) % 2 == 0})
+             for c in range(3)]
+    vpf = PagedFile(f"vpages-{name}", page_size=256)
+    cls = SCHEME_CLASSES[name]
+    if name == "horizontal":
+        scheme = cls(vpf)
+    else:
+        scheme = cls(vpf, PagedFile(f"vindex-{name}", page_size=256))
+    scheme.build(8, cells)
+    return scheme
+
+
+@pytest.mark.parametrize("name", sorted(SCHEME_CLASSES))
+def test_scheme_misuse_raises_scheme_error(name):
+    scheme = _build_scheme(name)
+    with pytest.raises(SchemeError):
+        scheme.flip_to_cell(42)            # unknown cell
+    with pytest.raises(SchemeError):
+        scheme.ventries(0)                 # read before any flip
+    scheme.flip_to_cell(0)
+    with pytest.raises(SchemeError):
+        scheme.ventries(1000)              # out-of-range node offset
+    # After the failed calls the scheme still answers normally.
+    assert scheme.ventries(0) is not None
+
+
+# -- Search: degrade on V-page loss, die on node loss ------------------------
+
+
+def _busiest_cell(env):
+    return max(env.grid.cell_ids(),
+               key=lambda c: env.visibility.cell(c).num_visible)
+
+
+def _rules(*matches):
+    return FaultPlan("kill", tuple(FaultRule("read-error", match=m, rate=1.0)
+                                   for m in matches))
+
+
+def test_vpage_loss_degrades_but_answers(env):
+    """Unreadable V-pages (data + index) degrade the whole query to the
+    root's internal LoD: complete coverage, coarser answer, no raise."""
+    scheme = "indexed-vertical"
+    search = HDoVSearch(env, scheme)
+    search.scheme.current_cell = None
+    cell_id = _busiest_cell(env)
+    injector = FaultInjector(
+        _rules(f"vpages-{scheme}", f"vindex-{scheme}"), seed=0)
+    injector.install(env.schemes[scheme].vpage_file,
+                     env.schemes[scheme].index_file)
+    try:
+        result = search.query_cell(cell_id, eta=0.002)
+    finally:
+        injector.uninstall()
+        search.scheme.current_cell = None
+        search.scheme.drop_prefetches()
+    assert result.degraded >= 1
+    visible = set(env.visibility.cell(cell_id).visible_ids())
+    assert visible <= set(result.covered_object_ids())
+
+
+def test_vpage_data_loss_degrades_per_subtree(env):
+    """With only the V-page *data* file down, the flip (index) still
+    succeeds and each affected subtree degrades individually."""
+    scheme = "indexed-vertical"
+    search = HDoVSearch(env, scheme)
+    search.scheme.current_cell = None
+    cell_id = _busiest_cell(env)
+    injector = FaultInjector(_rules(f"vpages-{scheme}"), seed=0)
+    injector.install(env.schemes[scheme].vpage_file)
+    try:
+        result = search.query_cell(cell_id, eta=0.002)
+    finally:
+        injector.uninstall()
+        search.scheme.current_cell = None
+        search.scheme.drop_prefetches()
+    assert result.degraded >= 1
+    visible = set(env.visibility.cell(cell_id).visible_ids())
+    assert visible <= set(result.covered_object_ids())
+
+
+def test_node_store_loss_is_fatal(env):
+    """The bottom of the ladder: without the R-tree node there is no
+    entry list and no internal-LoD pointer, so the error propagates."""
+    search = HDoVSearch(env, "indexed-vertical")
+    search.scheme.current_cell = None
+    injector = FaultInjector(_rules("tree"), seed=0)
+    injector.install(env.node_store.pfile)
+    try:
+        with pytest.raises(TransientIOError):
+            search.query_cell(_busiest_cell(env), eta=0.002)
+    finally:
+        injector.uninstall()
+        search.scheme.current_cell = None
+        search.scheme.drop_prefetches()

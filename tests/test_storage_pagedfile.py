@@ -173,10 +173,13 @@ def test_lazy_allocation_reads_zeros():
 
 
 def test_lazy_allocation_disk_backend(tmp_path):
+    # Physical pages are page_size + 8: each disk page carries an
+    # 8-byte integrity trailer (magic + CRC32).  Allocation must still
+    # be a truncate (metadata only), never a data write.
     path = os.path.join(tmp_path, "lazy.bin")
     with PagedFile("lazy", page_size=128, path=path) as pf:
         first = pf.allocate_many(4)
-        assert os.path.getsize(path) == 4 * 128
+        assert os.path.getsize(path) == 4 * (128 + 8)
         assert pf.read_page(first + 2) == bytes(128)
         pf.write_page(first + 1, b"x")
         assert pf.read_page(first + 1).startswith(b"x")
@@ -192,7 +195,29 @@ def test_append_page_writes_payload_once(tmp_path):
         pf._fh.write = lambda data: (writes.append(len(data)),
                                      original(data))[1]
         pf.append_page(b"payload")
-        assert writes == [128]
+        # One write call of one physical page (payload + CRC trailer).
+        assert writes == [128 + 8]
+
+
+def test_close_flushes_fsyncs_and_is_idempotent(tmp_path, monkeypatch):
+    """Regression: close() used to neither fsync nor tolerate a second
+    call — an __exit__ after an explicit close() raised on the closed
+    file handle, and a crash right after close() could lose pages that
+    were still in the OS write-back cache."""
+    synced = []
+    real_fsync = os.fsync
+    monkeypatch.setattr(os, "fsync",
+                        lambda fd: (synced.append(fd), real_fsync(fd))[1])
+    path = os.path.join(tmp_path, "durable.bin")
+    pf = PagedFile("durable", page_size=128, path=path)
+    with pf:
+        pid = pf.append_page(b"must survive")
+        pf.close()            # explicit close inside the with-block...
+        pf.close()            # ...double close is a no-op...
+    # ...and so is the __exit__ that follows.  Exactly one fsync fired.
+    assert len(synced) == 1
+    with PagedFile("durable", page_size=128, path=path) as again:
+        assert again.read_page(pid).startswith(b"must survive")
 
 
 def test_iostats_delta():
