@@ -8,6 +8,7 @@ Usage::
     python -m repro run all --scale small
     python -m repro profile [--scale small] [--session 1] [--eta 0.001]
     python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
+    python -m repro precompute [--workers 4] [--cache-dir DIR] [--resume]
 
 ``run`` prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison); ``profile`` runs
@@ -15,7 +16,10 @@ one instrumented walkthrough and emits a JSON report of where the
 simulated milliseconds and page I/Os go (see README, "Profiling");
 ``chaos`` replays a session under a named fault plan and reports frames
 survived, degradations, retries, and the fidelity delta (see README,
-"Chaos testing").
+"Chaos testing"); ``precompute`` runs the batched/parallel per-cell DoV
+pipeline with an optional resumable cache and emits a JSON summary whose
+``digest`` field fingerprints the resulting table bit-for-bit (see
+README, "Precompute").
 """
 
 from __future__ import annotations
@@ -140,6 +144,41 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--list-plans", action="store_true",
                        help="list the built-in fault plans and exit")
 
+    precompute = sub.add_parser(
+        "precompute",
+        help="run the per-cell DoV precompute pipeline; emit a JSON "
+             "summary with the table's content digest")
+    precompute.add_argument("--scale", default="small",
+                            choices=["small", "medium", "large"],
+                            help="environment scale (default: small)")
+    precompute.add_argument("--resolution", type=int, default=None,
+                            help="cube-map resolution (default: the "
+                                 "scale's)")
+    precompute.add_argument("--samples", type=int, default=1,
+                            help="viewpoint samples per cell (default: 1)")
+    precompute.add_argument("--min-dov", type=float, default=0.0,
+                            help="DoV floor below which an object is "
+                                 "treated as hidden (default: 0)")
+    precompute.add_argument("--workers", type=int, default=1,
+                            help="worker processes (default: 1; any "
+                                 "count yields a bit-identical table)")
+    precompute.add_argument("--batch-cells", type=int, default=None,
+                            help="cells per vectorized kernel call "
+                                 "(default: 16)")
+    precompute.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="resumable cell-cache directory")
+    precompute.add_argument("--resume", action="store_true",
+                            help="reuse cells already in --cache-dir "
+                                 "(fingerprint-checked)")
+    precompute.add_argument("--table", default=None, metavar="FILE",
+                            help="write the visibility table to "
+                                 "FILE (.npz)")
+    precompute.add_argument("--output", default=None, metavar="FILE",
+                            help="write the JSON summary to FILE "
+                                 "(default: stdout)")
+    precompute.add_argument("--quiet", action="store_true",
+                            help="suppress the progress line on stderr")
+
     lint = sub.add_parser(
         "lint",
         help="run the repo's static-analysis rule suite (RPR codes)")
@@ -240,6 +279,74 @@ def cmd_chaos(args) -> int:
     return 0 if report["outcome"]["completed"] else 1
 
 
+def cmd_precompute(args) -> int:
+    from repro.errors import VisibilityError
+    from repro.obs.metrics import use_registry
+    from repro.scene.city import generate_city
+    from repro.visibility.cells import CellGrid
+    from repro.visibility.persist import save_visibility, visibility_digest
+    from repro.visibility.precompute import (DEFAULT_BATCH_CELLS,
+                                             precompute_visibility)
+
+    scale = get_scale(args.scale)
+    resolution = (args.resolution if args.resolution is not None
+                  else scale.hdov.dov_resolution)
+    batch_cells = (args.batch_cells if args.batch_cells is not None
+                   else DEFAULT_BATCH_CELLS)
+    scene = generate_city(scale.city)
+    grid = CellGrid.covering(scene.bounds(), scale.cell_size)
+
+    def progress(done: int, total: int) -> None:
+        if not args.quiet:
+            print(f"\rprecompute: {done}/{total} cells", end="",
+                  file=sys.stderr, flush=True)
+
+    started = time.perf_counter()
+    try:
+        with use_registry() as registry:
+            table = precompute_visibility(
+                scene, grid, resolution=resolution,
+                samples_per_cell=args.samples, min_dov=args.min_dov,
+                workers=args.workers, batch_cells=batch_cells,
+                cache_dir=args.cache_dir, resume=args.resume,
+                progress=progress)
+            counters = registry.collect()
+    except VisibilityError as exc:
+        if not args.quiet:
+            print(file=sys.stderr)
+        print(f"repro precompute: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    if not args.quiet:
+        print(file=sys.stderr)
+    if args.table is not None:
+        save_visibility(table, args.table)
+    summary = {
+        "scale": args.scale,
+        "resolution": resolution,
+        "samples_per_cell": args.samples,
+        "min_dov": args.min_dov,
+        "workers": args.workers,
+        "batch_cells": batch_cells,
+        "cells_total": int(counters.get("precompute_cells_total", 0.0)),
+        "cells_cached": int(counters.get("precompute_cells_cached_total",
+                                         0.0)),
+        "rays_cast": int(counters.get("precompute_rays_total", 0.0)),
+        "avg_visible": round(table.average_visible(), 3),
+        "elapsed_s": round(elapsed, 3),
+        "table": args.table,
+        "digest": visibility_digest(table),
+    }
+    text = json.dumps(summary, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {args.output} (digest={summary['digest'][:16]}...)")
+    else:
+        print(text)
+    return 0
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import all_rules, lint_paths, save_baseline
 
@@ -288,6 +395,8 @@ def main(argv=None) -> int:
         return cmd_profile(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "precompute":
+        return cmd_precompute(args)
     if args.command == "lint":
         return cmd_lint(args)
     return cmd_run(args.experiments, args.scale)

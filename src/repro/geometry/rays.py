@@ -4,8 +4,9 @@ The DoV computation replaces the paper's hardware-accelerated item-buffer
 rendering with a software equivalent: cast a grid of rays that uniformly
 sample the unit sphere of directions around a viewpoint, intersect them
 with all object AABBs, and attribute each ray's solid angle to the nearest
-hit.  The intersection kernels here are the performance-critical inner
-loops, written as numpy broadcasts.
+hit.  The AABB intersection paths all delegate to the single
+octant-grouped slab kernel in :mod:`repro.geometry.slab`; this module
+keeps the direction-grid construction and the triangle kernel.
 """
 
 from __future__ import annotations
@@ -15,10 +16,12 @@ from typing import Optional, Tuple
 import numpy as np
 
 from repro.errors import GeometryError
+from repro.geometry.slab import NO_HIT, slab_entry_matrix, slab_nearest
 from repro.geometry.vec import normalize_rows
 
-#: Value used for "no hit" in nearest-hit arrays.
-NO_HIT = np.inf
+__all__ = ["NO_HIT", "sphere_direction_grid", "cube_map_solid_angles",
+           "rays_vs_aabbs", "nearest_hits", "ray_aabb_intersect",
+           "rays_vs_triangles"]
 
 
 def sphere_direction_grid(resolution: int) -> np.ndarray:
@@ -91,60 +94,25 @@ def rays_vs_aabbs(origin, directions: np.ndarray,
     dirs = np.asarray(directions, dtype=np.float64)
     if boxes.size == 0:
         return np.full((len(dirs), 0), NO_HIT)
-    lo = boxes[:, 0:3]
-    hi = boxes[:, 3:6]
-    num_rays = len(dirs)
-    num_boxes = len(boxes)
-    tmin = np.full((num_rays, num_boxes), -np.inf)
-    tmax = np.full((num_rays, num_boxes), np.inf)
-    # Per-axis slab intersection, looped to avoid (r, b, 3) temporaries —
-    # this kernel dominates visibility precomputation time.
-    for axis in range(3):
-        d = dirs[:, axis]
-        parallel = d == 0.0
-        with np.errstate(divide="ignore", over="ignore", invalid="ignore"):
-            inv = np.where(parallel, np.inf, 1.0 / d)       # (r,)
-            t1 = np.multiply.outer(inv, lo[:, axis] - origin[axis])  # (r, b)
-            t2 = np.multiply.outer(inv, hi[:, axis] - origin[axis])
-        lo_t = np.minimum(t1, t2)
-        hi_t = np.maximum(t1, t2)
-        if parallel.any():
-            # Axis-parallel rays: if the origin is within the slab the
-            # slab never constrains; outside, the ray misses.
-            inside = ((origin[axis] >= lo[:, axis])
-                      & (origin[axis] <= hi[:, axis]))       # (b,)
-            par_rows = np.nonzero(parallel)[0]
-            lo_t[par_rows] = np.where(inside, -np.inf, np.inf)
-            hi_t[par_rows] = np.where(inside, np.inf, -np.inf)
-        np.maximum(tmin, lo_t, out=tmin)
-        np.minimum(tmax, hi_t, out=tmax)
-    hit = (tmax >= tmin) & (tmax >= 0.0)
-    entry = np.where(tmin >= 0.0, tmin, 0.0)
-    return np.where(hit, entry, NO_HIT)
+    return slab_entry_matrix(origin, dirs, boxes[:, 0:3], boxes[:, 3:6])
 
 
 def nearest_hits(origin, directions: np.ndarray, boxes: np.ndarray,
                  chunk: int = 2048) -> Tuple[np.ndarray, np.ndarray]:
     """Per-ray nearest box id and distance.
 
-    Chunks over rays to bound the ``(r, b)`` intermediate.  Returns
-    ``(ids, ts)`` with ``ids[i] = -1`` and ``ts[i] = NO_HIT`` for misses.
+    Returns ``(ids, ts)`` with ``ids[i] = -1`` and ``ts[i] = NO_HIT``
+    for misses.  ``chunk`` is retained for API compatibility; the shared
+    slab kernel bounds its own intermediates.
     """
+    del chunk
     dirs = np.asarray(directions, dtype=np.float64)
-    n = len(dirs)
-    ids = np.full(n, -1, dtype=np.int64)
-    ts = np.full(n, NO_HIT)
     if boxes.size == 0:
-        return ids, ts
-    for start in range(0, n, chunk):
-        stop = min(start + chunk, n)
-        t = rays_vs_aabbs(origin, dirs[start:stop], boxes)
-        best = np.argmin(t, axis=1)
-        best_t = t[np.arange(stop - start), best]
-        found = best_t < NO_HIT
-        ids[start:stop] = np.where(found, best, -1)
-        ts[start:stop] = best_t
-    return ids, ts
+        return (np.full(len(dirs), -1, dtype=np.int64),
+                np.full(len(dirs), NO_HIT))
+    origin2d = np.asarray(origin, dtype=np.float64)[None, :]
+    ids, ts = slab_nearest(origin2d, dirs, boxes[:, 0:3], boxes[:, 3:6])
+    return ids[0], ts[0]
 
 
 def ray_aabb_intersect(origin, direction, box_lo, box_hi) -> Optional[float]:

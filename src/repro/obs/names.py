@@ -72,6 +72,12 @@ SCHEME_PREFETCHES = "scheme_prefetches_total"
 
 FRAMES_DEGRADED = "frames_degraded_total"
 
+# -- repro.visibility.precompute: offline DoV pipeline ----------------------
+
+PRECOMPUTE_CELLS = "precompute_cells_total"
+PRECOMPUTE_CELLS_CACHED = "precompute_cells_cached_total"
+PRECOMPUTE_RAYS = "precompute_rays_total"
+
 
 def registered_names() -> Dict[str, str]:
     """``{constant name: series name}`` for every registered metric."""

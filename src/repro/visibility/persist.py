@@ -17,8 +17,9 @@ internals to the caller.
 
 from __future__ import annotations
 
+import hashlib
 import zipfile
-from typing import Optional, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -37,25 +38,52 @@ _REQUIRED_KEYS = ("magic", "version", "num_cells", "cell_ids",
                   "object_ids", "dovs")
 
 
-def save_visibility(table: VisibilityTable, path: str) -> None:
-    """Write ``table`` to ``path`` (``.npz``)."""
-    cell_ids = []
-    object_ids = []
-    dovs = []
+def _table_arrays(table: VisibilityTable
+                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The canonical (cell id, object id, DoV) triple-array layout:
+    cells ascending, object ids ascending within each cell."""
+    cell_ids: List[int] = []
+    object_ids: List[int] = []
+    dovs: List[float] = []
     for cell in table.cells():
         for oid, dov in sorted(cell.dov.items()):
             cell_ids.append(cell.cell_id)
             object_ids.append(oid)
             dovs.append(dov)
+    return (np.asarray(cell_ids, dtype=np.int64),
+            np.asarray(object_ids, dtype=np.int64),
+            np.asarray(dovs, dtype=np.float64))
+
+
+def save_visibility(table: VisibilityTable, path: str) -> None:
+    """Write ``table`` to ``path`` (``.npz``)."""
+    cell_ids, object_ids, dovs = _table_arrays(table)
     np.savez_compressed(
         path,
         magic=np.asarray(MAGIC),
         version=np.int64(FORMAT_VERSION),
         num_cells=np.int64(table.num_cells),
-        cell_ids=np.asarray(cell_ids, dtype=np.int64),
-        object_ids=np.asarray(object_ids, dtype=np.int64),
-        dovs=np.asarray(dovs, dtype=np.float64),
+        cell_ids=cell_ids,
+        object_ids=object_ids,
+        dovs=dovs,
     )
+
+
+def visibility_digest(table: VisibilityTable) -> str:
+    """SHA-256 over the exact bytes :func:`save_visibility` would store.
+
+    The precompute pipeline's determinism contract — batched, parallel
+    and resumed runs produce *bit-identical* tables — is asserted by
+    comparing digests, which sidesteps the non-reproducible zip metadata
+    (timestamps) inside the ``.npz`` container itself.
+    """
+    cell_ids, object_ids, dovs = _table_arrays(table)
+    digest = hashlib.sha256()
+    digest.update(np.int64(table.num_cells).tobytes())
+    digest.update(cell_ids.tobytes())
+    digest.update(object_ids.tobytes())
+    digest.update(dovs.tobytes())
+    return digest.hexdigest()
 
 
 def _read_arrays(path: str) -> Tuple[int, "np.ndarray", "np.ndarray",

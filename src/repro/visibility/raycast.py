@@ -13,16 +13,27 @@ choice for the *occludee* (an object's box is at least as big as the
 object) and slightly aggressive for the *occluder*; for the paper's city
 scenes — buildings are boxes — it is near-exact, and the estimator is
 validated against analytic solid angles in the tests.
+
+Batching: the precompute pipeline casts the same ray set from many
+viewpoints, so the estimator's hot path is :meth:`dov_sums`, which
+intersects a whole ``(v, 3)`` viewpoint block in one call to the shared
+slab kernel (:mod:`repro.geometry.slab`) and reduces texel ownership to
+per-object solid-angle sums with a single offset ``bincount``.  The
+batched path is bit-identical to the one-viewpoint-at-a-time path — the
+kernel performs the same per-element operations regardless of batch
+shape, and the bincount accumulates each viewpoint's texels in the same
+ray order the scalar path uses.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import VisibilityError
 from repro.geometry.rays import cube_map_solid_angles, sphere_direction_grid
+from repro.geometry.slab import group_rays_by_octant, slab_nearest
 from repro.geometry.solidangle import FULL_SPHERE
 from repro.geometry.vec import PointLike
 
@@ -68,52 +79,58 @@ class RayCastDoVEstimator:
         # instead of per (ray, box) element; float32 halves memory traffic.
         self._lo32 = self.boxes[:, 0:3].astype(np.float32)
         self._hi32 = self.boxes[:, 3:6].astype(np.float32)
-        self._octants = self._group_by_octant(self.directions)
-
-    @staticmethod
-    def _group_by_octant(directions: np.ndarray
-                         ) -> List[Tuple[np.ndarray, np.ndarray]]:
-        """Partition rays into (index array, direction array) per sign
-        octant.  Cube-map directions never have a zero component."""
-        signs = directions > 0.0
-        codes = signs[:, 0] * 4 + signs[:, 1] * 2 + signs[:, 2]
-        groups = []
-        for code in range(8):
-            idx = np.nonzero(codes == code)[0]
-            if len(idx):
-                groups.append((idx, directions[idx].astype(np.float32)))
-        return groups
+        self._dirs32 = self.directions.astype(np.float32)
+        self._groups = group_rays_by_octant(self._dirs32)
+        # The vectorized region reduction keys sums by box row; with
+        # duplicate object ids the dict-based merge has subtly different
+        # (last-row-wins) semantics, so such estimators take the
+        # pointwise path.  Scenes never produce duplicates.
+        self._unique_ids = len(np.unique(self.object_ids)) == len(
+            self.object_ids)
 
     @property
     def num_rays(self) -> int:
         return len(self.directions)
 
+    def _nearest_ids_batch(self, viewpoints: np.ndarray) -> np.ndarray:
+        """Per-ray nearest box row (-1 for a miss) for a ``(v, 3)``
+        viewpoint block, via the shared octant-grouped slab kernel."""
+        origins = np.asarray(viewpoints, dtype=np.float64)
+        ids, _ts = slab_nearest(origins.astype(np.float32), self._dirs32,
+                                self._lo32, self._hi32,
+                                groups=self._groups)
+        return ids
+
     def _nearest_ids(self, viewpoint: np.ndarray) -> np.ndarray:
-        """Per-ray nearest box row (-1 for a miss), octant-grouped kernel."""
-        origin = viewpoint.astype(np.float32)
-        out = np.full(self.num_rays, -1, dtype=np.int64)
-        for idx, dirs in self._octants:
-            positive = dirs[0] > 0.0                       # octant signs
-            near = np.where(positive, self._lo32, self._hi32)   # (b, 3)
-            far = np.where(positive, self._hi32, self._lo32)
-            inv = np.float32(1.0) / dirs                   # (r, 3)
-            tmin = np.multiply.outer(inv[:, 0], near[:, 0] - origin[0])
-            tmax = np.multiply.outer(inv[:, 0], far[:, 0] - origin[0])
-            for axis in (1, 2):
-                t1 = np.multiply.outer(inv[:, axis],
-                                       near[:, axis] - origin[axis])
-                t2 = np.multiply.outer(inv[:, axis],
-                                       far[:, axis] - origin[axis])
-                np.maximum(tmin, t1, out=tmin)
-                np.minimum(tmax, t2, out=tmax)
-            # Entry distance; rays starting inside a box hit at t = 0.
-            np.maximum(tmin, np.float32(0.0), out=tmin)
-            hit = tmax >= tmin
-            tmin[~hit] = np.inf
-            best = np.argmin(tmin, axis=1)
-            best_t = tmin[np.arange(len(dirs)), best]
-            out[idx] = np.where(np.isfinite(best_t), best, -1)
-        return out
+        """Single-viewpoint view of :meth:`_nearest_ids_batch`."""
+        return self._nearest_ids_batch(
+            np.asarray(viewpoint, dtype=np.float64)[None, :])[0]
+
+    def dov_sums(self, viewpoints: np.ndarray) -> np.ndarray:
+        """Per-viewpoint, per-box-row solid-angle sums, shape ``(v, n)``.
+
+        Row ``i`` holds, for each box row, the summed solid angle of the
+        texels that box owns from ``viewpoints[i]`` — eq. 1's visible
+        part before normalisation by ``4 * pi``.  One offset ``bincount``
+        accumulates every viewpoint at once, in the same per-viewpoint
+        ray order as :meth:`dov_from_viewpoint`, so the sums are
+        bit-identical to the scalar path.
+        """
+        viewpoints = np.atleast_2d(np.asarray(viewpoints, dtype=np.float64))
+        num_vps = len(viewpoints)
+        num_boxes = len(self.boxes)
+        ids = self._nearest_ids_batch(viewpoints)          # (v, r)
+        hit_mask = ids >= 0
+        if not hit_mask.any() or num_boxes == 0:
+            return np.zeros((num_vps, num_boxes))
+        # Offset each viewpoint's box rows into its own bincount segment.
+        offsets = np.arange(num_vps, dtype=np.int64)[:, None] * num_boxes
+        flat_ids = (ids + offsets)[hit_mask]
+        omegas = np.broadcast_to(self.solid_angles,
+                                 ids.shape)[hit_mask]
+        sums = np.bincount(flat_ids, weights=omegas,
+                           minlength=num_vps * num_boxes)
+        return sums.reshape(num_vps, num_boxes)
 
     def dov_from_viewpoint(self, viewpoint: PointLike) -> Dict[int, float]:
         """Point DoV (eq. 1's visible part, projected): object id -> DoV.
@@ -136,9 +153,35 @@ class RayCastDoVEstimator:
 
     def dov_from_region(self,
                         viewpoints: Sequence[PointLike]) -> Dict[int, float]:
-        """Conservative region DoV (eq. 2): per-object max over samples."""
+        """Conservative region DoV (eq. 2): per-object max over samples.
+
+        Computed for the whole sample block with one batched kernel call;
+        bit-identical to merging :meth:`dov_from_viewpoint` results.
+        """
         if not len(viewpoints):
             raise VisibilityError("need at least one sample viewpoint")
+        if not self._unique_ids:
+            return self._dov_from_region_pointwise(viewpoints)
+        sums = self.dov_sums(np.asarray(viewpoints, dtype=np.float64))
+        return self.region_dov_from_sums(sums)
+
+    def region_dov_from_sums(self, sums: np.ndarray) -> Dict[int, float]:
+        """Reduce a ``(v, n)`` :meth:`dov_sums` block to the region DoV.
+
+        The per-object max over samples (eq. 2), normalised and clamped.
+        Exposed so the precompute pipeline can slice one batched
+        ``dov_sums`` result into per-cell sample blocks.
+        """
+        region = np.max(np.atleast_2d(sums), axis=0)       # (n,)
+        result: Dict[int, float] = {}
+        for row in np.nonzero(region)[0]:
+            oid = int(self.object_ids[row])
+            result[oid] = float(min(region[row] / FULL_SPHERE, 1.0))
+        return result
+
+    def _dov_from_region_pointwise(
+            self, viewpoints: Sequence[PointLike]) -> Dict[int, float]:
+        """The pre-batching merge, kept for duplicate-id estimators."""
         merged: Dict[int, float] = {}
         for viewpoint in viewpoints:
             point_dov = self.dov_from_viewpoint(viewpoint)

@@ -8,6 +8,8 @@ from repro.geometry.aabb import AABB, pack_aabbs
 from repro.geometry.rays import (NO_HIT, cube_map_solid_angles, nearest_hits,
                                  ray_aabb_intersect, rays_vs_aabbs,
                                  rays_vs_triangles, sphere_direction_grid)
+from repro.geometry.slab import (group_rays_by_octant, slab_entry_matrix,
+                                 slab_nearest)
 
 
 def test_direction_grid_shape_and_unit_length():
@@ -143,3 +145,83 @@ def test_vectorized_matches_scalar():
                 assert t[i, j] == NO_HIT
             else:
                 assert t[i, j] == pytest.approx(scalar, abs=1e-9)
+
+
+# -- shared slab kernel ------------------------------------------------------
+
+finite_coords = st.floats(min_value=-50.0, max_value=50.0)
+
+box_strategy = st.tuples(
+    st.tuples(finite_coords, finite_coords, finite_coords),
+    st.tuples(st.floats(0.0, 20.0), st.floats(0.0, 20.0),
+              st.floats(0.0, 20.0)),
+).map(lambda t: (np.asarray(t[0]), np.asarray(t[0]) + np.asarray(t[1])))
+
+# Raw (possibly axis-parallel, even degenerate-component) directions: the
+# slab kernel must agree with the scalar reference for zero components too.
+raw_dirs = st.tuples(
+    st.sampled_from([-1.0, -0.3, 0.0, 0.3, 1.0]) | st.floats(-1, 1),
+    st.sampled_from([-1.0, -0.3, 0.0, 0.3, 1.0]) | st.floats(-1, 1),
+    st.sampled_from([-1.0, -0.3, 0.0, 0.3, 1.0]) | st.floats(-1, 1),
+).filter(lambda d: np.linalg.norm(d) > 1e-6).map(np.asarray)
+
+
+@given(boxes=st.lists(box_strategy, min_size=1, max_size=6),
+       origin=st.tuples(finite_coords, finite_coords, finite_coords),
+       directions=st.lists(raw_dirs, min_size=1, max_size=8))
+@settings(max_examples=120, deadline=None)
+def test_slab_kernel_matches_scalar_reference(boxes, origin, directions):
+    """Property: the shared slab kernel agrees with ray_aabb_intersect
+    for every (ray, box) pair, including axis-parallel rays, origins
+    inside boxes, and zero-extent boxes."""
+    origin = np.asarray(origin, dtype=float)
+    dirs = np.asarray(directions, dtype=float)
+    lo = np.array([b[0] for b in boxes])
+    hi = np.array([b[1] for b in boxes])
+    t = slab_entry_matrix(origin, dirs, lo, hi)
+    assert t.shape == (len(dirs), len(boxes))
+    for i in range(len(dirs)):
+        for j in range(len(boxes)):
+            scalar = ray_aabb_intersect(origin, dirs[i], lo[j], hi[j])
+            if scalar is None:
+                assert t[i, j] == NO_HIT
+            else:
+                assert t[i, j] == scalar        # bit-identical, both float64
+
+
+@given(boxes=st.lists(box_strategy, min_size=1, max_size=5),
+       origins=st.lists(st.tuples(finite_coords, finite_coords,
+                                  finite_coords),
+                        min_size=1, max_size=4),
+       directions=st.lists(raw_dirs, min_size=1, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_slab_nearest_matches_per_origin_matrix(boxes, origins, directions):
+    """Property: the origin-batched nearest-hit kernel equals running the
+    entry matrix one origin at a time and taking the argmin."""
+    dirs = np.asarray(directions, dtype=float)
+    lo = np.array([b[0] for b in boxes])
+    hi = np.array([b[1] for b in boxes])
+    origins = np.asarray(origins, dtype=float)
+    ids, ts = slab_nearest(origins, dirs, lo, hi)
+    assert ids.shape == ts.shape == (len(origins), len(dirs))
+    for v, origin in enumerate(origins):
+        t = slab_entry_matrix(origin, dirs, lo, hi)
+        for r in range(len(dirs)):
+            hits = t[r]
+            if np.all(hits == NO_HIT):
+                assert ids[v, r] == -1
+                assert ts[v, r] == NO_HIT
+            else:
+                assert ids[v, r] == int(np.argmin(hits))
+                assert ts[v, r] == hits.min()
+
+
+def test_octant_groups_partition_all_rays():
+    dirs = sphere_direction_grid(4).astype(np.float32)
+    groups = group_rays_by_octant(dirs)
+    seen = np.concatenate([idx for idx, _rows in groups])
+    assert sorted(seen.tolist()) == list(range(len(dirs)))
+    for idx, rows in groups:
+        assert np.array_equal(dirs[idx], rows)
+        signs = rows > 0
+        assert np.all(signs == signs[0])        # sign-homogeneous group

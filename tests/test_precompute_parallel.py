@@ -1,0 +1,262 @@
+"""Batched/parallel/resumable precompute: the determinism contract.
+
+The pipeline promises that the resulting table is *bit-identical* —
+compared via :func:`repro.visibility.persist.visibility_digest` — across
+the seed per-viewpoint path, the batched kernel at any batch size, any
+worker count, and fresh-vs-resumed runs.  These tests are the contract's
+enforcement alongside the CI determinism gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import VisibilityError
+from repro.obs.metrics import use_registry
+from repro.visibility.cache import PrecomputeCache, precompute_fingerprint
+from repro.visibility.dov import CellVisibility, VisibilityTable
+from repro.visibility.persist import visibility_digest
+from repro.visibility.precompute import precompute_visibility
+from repro.visibility.raycast import RayCastDoVEstimator
+
+RESOLUTION = 8
+SAMPLES = 3
+
+
+def seed_path_table(scene, grid, *, resolution=RESOLUTION, samples=SAMPLES,
+                    min_dov=0.0):
+    """The seed implementation: per-viewpoint casts merged through dicts."""
+    estimator = RayCastDoVEstimator(scene.packed_mbrs(),
+                                    object_ids=scene.object_ids(),
+                                    resolution=resolution)
+    table = VisibilityTable(grid.num_cells)
+    for cell_id in grid.cell_ids():
+        viewpoints = grid.sample_viewpoints(cell_id, samples=samples)
+        merged = {}
+        for viewpoint in viewpoints:
+            for oid, value in estimator.dov_from_viewpoint(
+                    viewpoint).items():
+                if value > merged.get(oid, 0.0):
+                    merged[oid] = value
+        cell = CellVisibility(cell_id)
+        for oid, value in merged.items():
+            if value > min_dov:
+                cell.set(oid, value)
+        table.put(cell)
+    return table
+
+
+@pytest.fixture(scope="module")
+def seed_digest(small_scene, small_grid):
+    return visibility_digest(seed_path_table(small_scene, small_grid))
+
+
+def test_batched_matches_seed_path_to_the_bit(small_scene, small_grid,
+                                              seed_digest):
+    for batch_cells in (1, 4, 64):
+        table = precompute_visibility(small_scene, small_grid,
+                                      resolution=RESOLUTION,
+                                      samples_per_cell=SAMPLES,
+                                      batch_cells=batch_cells)
+        assert visibility_digest(table) == seed_digest
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def test_parallel_matches_seed_path_to_the_bit(small_scene, small_grid,
+                                               seed_digest, workers):
+    table = precompute_visibility(small_scene, small_grid,
+                                  resolution=RESOLUTION,
+                                  samples_per_cell=SAMPLES,
+                                  workers=workers, batch_cells=4)
+    assert visibility_digest(table) == seed_digest
+
+
+def test_region_dov_batched_equals_pointwise(small_scene, small_grid):
+    estimator = RayCastDoVEstimator(small_scene.packed_mbrs(),
+                                    object_ids=small_scene.object_ids(),
+                                    resolution=RESOLUTION)
+    viewpoints = small_grid.sample_viewpoints(0, samples=5)
+    batched = estimator.dov_from_region(viewpoints)
+    pointwise = estimator._dov_from_region_pointwise(viewpoints)
+    assert batched == pointwise                 # bit equality, not approx
+
+
+def test_duplicate_object_ids_take_pointwise_path():
+    boxes = np.array([[5.0, -1, -1, 6, 1, 1], [8.0, -1, -1, 9, 1, 1]])
+    estimator = RayCastDoVEstimator(boxes, object_ids=[7, 7], resolution=8)
+    assert not estimator._unique_ids
+    region = estimator.dov_from_region([(0.0, 0.0, 0.0)])
+    assert region == estimator._dov_from_region_pointwise([(0.0, 0.0, 0.0)])
+
+
+def test_min_dov_filter_parity(small_scene, small_grid):
+    floor = 0.01
+    expected = visibility_digest(seed_path_table(small_scene, small_grid,
+                                                 min_dov=floor))
+    table = precompute_visibility(small_scene, small_grid,
+                                  resolution=RESOLUTION,
+                                  samples_per_cell=SAMPLES, min_dov=floor)
+    assert visibility_digest(table) == expected
+
+
+def test_progress_callback_reaches_total(small_scene, small_grid):
+    seen = []
+    precompute_visibility(small_scene, small_grid, resolution=RESOLUTION,
+                          batch_cells=2,
+                          progress=lambda done, total: seen.append(
+                              (done, total)))
+    assert seen[0][0] == 0
+    assert seen[-1] == (small_grid.num_cells, small_grid.num_cells)
+    assert [d for d, _t in seen] == sorted(d for d, _t in seen)
+
+
+def test_precompute_counters(small_scene, small_grid, tmp_path):
+    cache = str(tmp_path / "cache")
+    with use_registry() as registry:
+        precompute_visibility(small_scene, small_grid,
+                              resolution=RESOLUTION, cache_dir=cache)
+        assert registry.value("precompute_cells_total") == \
+            small_grid.num_cells
+        assert registry.value("precompute_cells_cached_total") == 0
+        assert registry.value("precompute_rays_total") == \
+            small_grid.num_cells * 6 * RESOLUTION ** 2
+    with use_registry() as registry:
+        precompute_visibility(small_scene, small_grid,
+                              resolution=RESOLUTION, cache_dir=cache,
+                              resume=True)
+        assert registry.value("precompute_cells_cached_total") == \
+            small_grid.num_cells
+        assert registry.value("precompute_rays_total") == 0
+
+
+# -- resumable cache ---------------------------------------------------------
+
+def test_resume_after_interruption_is_bit_identical(small_scene, small_grid,
+                                                    seed_digest, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    full = precompute_visibility(small_scene, small_grid,
+                                 resolution=RESOLUTION,
+                                 samples_per_cell=SAMPLES,
+                                 cache_dir=cache_dir)
+    assert visibility_digest(full) == seed_digest
+
+    # Simulate an interrupted run: keep only the first half of the
+    # cell records, with the final line torn mid-write.
+    cells_path = os.path.join(cache_dir, "cells.jsonl")
+    with open(cells_path) as fh:
+        lines = fh.readlines()
+    keep = lines[:len(lines) // 2]
+    with open(cells_path, "w") as fh:
+        fh.writelines(keep)
+        fh.write(lines[len(lines) // 2][:10])   # torn tail, no newline
+    resumed = precompute_visibility(small_scene, small_grid,
+                                    resolution=RESOLUTION,
+                                    samples_per_cell=SAMPLES,
+                                    cache_dir=cache_dir, resume=True)
+    assert visibility_digest(resumed) == seed_digest
+
+
+def test_stale_cache_fingerprint_refuses_resume(small_scene, small_grid,
+                                                tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    precompute_visibility(small_scene, small_grid, resolution=RESOLUTION,
+                          cache_dir=cache_dir)
+    with pytest.raises(VisibilityError, match="stale"):
+        # Different resolution -> different fingerprint.
+        precompute_visibility(small_scene, small_grid, resolution=16,
+                              cache_dir=cache_dir, resume=True)
+    # Without resume the stale cache is overwritten, not an error.
+    table = precompute_visibility(small_scene, small_grid, resolution=16,
+                                  cache_dir=cache_dir)
+    assert table.num_cells == small_grid.num_cells
+
+
+def test_corrupt_interior_cache_line_raises(small_scene, small_grid,
+                                            tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    precompute_visibility(small_scene, small_grid, resolution=RESOLUTION,
+                          cache_dir=cache_dir)
+    cells_path = os.path.join(cache_dir, "cells.jsonl")
+    with open(cells_path) as fh:
+        lines = fh.readlines()
+    lines[0] = "not json\n"
+    with open(cells_path, "w") as fh:
+        fh.writelines(lines)
+    with pytest.raises(VisibilityError, match="cells.jsonl"):
+        precompute_visibility(small_scene, small_grid,
+                              resolution=RESOLUTION,
+                              cache_dir=cache_dir, resume=True)
+
+
+def test_corrupt_manifest_raises(small_scene, small_grid, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    precompute_visibility(small_scene, small_grid, resolution=RESOLUTION,
+                          cache_dir=cache_dir)
+    manifest = os.path.join(cache_dir, "manifest.json")
+    with open(manifest, "w") as fh:
+        fh.write("{broken")
+    with pytest.raises(VisibilityError, match="manifest.json"):
+        precompute_visibility(small_scene, small_grid,
+                              resolution=RESOLUTION,
+                              cache_dir=cache_dir, resume=True)
+
+
+def test_cache_rejects_out_of_range_records(tmp_path):
+    fingerprint = "f" * 64
+    cache_dir = str(tmp_path / "cache")
+    with PrecomputeCache.open(cache_dir, fingerprint, num_cells=4,
+                              resume=False) as cache:
+        cache.record(1, {3: 0.5})
+    cells_path = os.path.join(cache_dir, "cells.jsonl")
+    with open(cells_path, "a") as fh:
+        fh.write(json.dumps({"cell": 99, "dov": {}}) + "\n")
+    with pytest.raises(VisibilityError, match="out of range"):
+        PrecomputeCache.open(cache_dir, fingerprint, num_cells=4,
+                             resume=True)
+
+
+def test_cache_round_trips_dov_floats_exactly(tmp_path):
+    fingerprint = "a" * 64
+    cache_dir = str(tmp_path / "cache")
+    values = {1: 0.1 + 0.2, 2: 1.0 / 3.0, 3: 5e-324, 4: 1.0}
+    with PrecomputeCache.open(cache_dir, fingerprint, num_cells=2,
+                              resume=False) as cache:
+        cache.record(0, values)
+    reopened = PrecomputeCache.open(cache_dir, fingerprint, num_cells=2,
+                                    resume=True)
+    try:
+        assert reopened.loaded == {0: values}   # bitwise float equality
+    finally:
+        reopened.close()
+
+
+def test_fingerprint_sensitivity(small_scene, small_grid):
+    boxes = small_scene.packed_mbrs()
+    ids = np.asarray(small_scene.object_ids())
+    base = precompute_fingerprint(boxes, ids, small_grid, 16, 1, 0.0)
+    assert precompute_fingerprint(boxes, ids, small_grid, 32, 1, 0.0) != base
+    assert precompute_fingerprint(boxes, ids, small_grid, 16, 2, 0.0) != base
+    assert precompute_fingerprint(boxes, ids, small_grid, 16, 1, 0.1) != base
+    shifted = boxes.copy()
+    shifted[0, 0] += 1.0
+    assert precompute_fingerprint(shifted, ids, small_grid, 16, 1,
+                                  0.0) != base
+
+
+def test_custom_estimator_rejected_with_workers(small_scene, small_grid):
+    class Custom(RayCastDoVEstimator):
+        pass
+
+    estimator = Custom(small_scene.packed_mbrs(),
+                       object_ids=small_scene.object_ids(), resolution=8)
+    with pytest.raises(VisibilityError, match="workers"):
+        precompute_visibility(small_scene, small_grid, estimator=estimator,
+                              workers=2)
+    # Serial use of a custom estimator stays supported.
+    table = precompute_visibility(small_scene, small_grid,
+                                  estimator=estimator)
+    assert table.num_cells == small_grid.num_cells

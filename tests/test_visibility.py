@@ -221,3 +221,23 @@ def test_precompute_empty_scene_rejected(small_grid):
     from repro.scene.objects import Scene
     with pytest.raises(VisibilityError):
         precompute_visibility(Scene(), small_grid)
+
+
+def test_precompute_rejects_bad_parameters(small_scene, small_grid):
+    # Regression: samples_per_cell < 1 used to be silently accepted and
+    # produced empty viewpoint batches deep inside the kernel.
+    with pytest.raises(VisibilityError):
+        precompute_visibility(small_scene, small_grid, resolution=8,
+                              samples_per_cell=0)
+    with pytest.raises(VisibilityError):
+        precompute_visibility(small_scene, small_grid, resolution=8,
+                              min_dov=-0.1)
+    with pytest.raises(VisibilityError):
+        precompute_visibility(small_scene, small_grid, resolution=8,
+                              batch_cells=0)
+    with pytest.raises(VisibilityError):
+        precompute_visibility(small_scene, small_grid, resolution=8,
+                              workers=0)
+    with pytest.raises(VisibilityError):
+        precompute_visibility(small_scene, small_grid, resolution=8,
+                              resume=True)           # resume needs a cache
