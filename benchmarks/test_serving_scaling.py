@@ -1,0 +1,71 @@
+"""Bench: serving scaling curve — sessions vs throughput and hit rate.
+
+Serves the SMALL scene at 1/2/4/8 concurrent sessions through one
+shared buffer pool and emits ``BENCH_serving.json``.  The tracked
+numbers are *simulated*, not wall-clock: aggregate frames per simulated
+second and the shared-pool hit rate are pure functions of the
+configuration, so the regression gate compares them exactly across
+machines (a noisy CI runner cannot fake a regression or hide one).
+Wall-clock seconds ride along for information only.
+
+Scaling expectation (the PR 5 acceptance bar): the more sessions share
+the tree, the hotter its upper levels stay in the pool, so the hit rate
+at 8 sessions must exceed the 1-session rate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.serving import run_serve
+
+SESSION_COUNTS = (1, 2, 4, 8)
+FRAMES = 30
+SEED = 7
+OUTPUT = "BENCH_serving.json"
+
+
+def test_serving_scaling(capsys):
+    curve = {}
+    for sessions in SESSION_COUNTS:
+        start = time.perf_counter()
+        report = run_serve(sessions=sessions, workers=2, seed=SEED,
+                           frames=FRAMES, include_frame_times=False)
+        elapsed = time.perf_counter() - start
+        assert report["outcome"]["completed"] is True
+        reconciliation = report["reconciliation"]
+        assert reconciliation["light_ios_balanced"] is True
+        assert reconciliation["heavy_ios_balanced"] is True
+
+        total_frames = report["outcome"]["frames_served"]
+        simulated_ms = sum(entry["frame_ms"]["mean"] * entry["frames"]
+                           for entry in report["sessions"])
+        pool = report["pool"]
+        curve[str(sessions)] = {
+            "frames": total_frames,
+            "sim_frames_per_s": round(total_frames / simulated_ms * 1000.0,
+                                      2),
+            "pool_hit_rate": round(pool["hit_rate"], 4),
+            "pool_hits": pool["hits"],
+            "pool_misses": pool["misses"],
+            "wall_seconds": round(elapsed, 4),
+        }
+
+    report = {
+        "scale": "small",
+        "seed": SEED,
+        "frames_per_session": FRAMES,
+        "cpu_count": os.cpu_count(),
+        "sessions": curve,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print()
+        print(json.dumps(report, indent=2, sort_keys=True))
+
+    # Sharing must pay: the pool serves 8 sessions better than 1.
+    assert curve["8"]["pool_hit_rate"] > curve["1"]["pool_hit_rate"]

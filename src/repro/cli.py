@@ -9,6 +9,7 @@ Usage::
     python -m repro profile [--scale small] [--session 1] [--eta 0.001]
     python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
     python -m repro precompute [--workers 4] [--cache-dir DIR] [--resume]
+    python -m repro serve [--sessions 8] [--workers 4] [--seed 7]
 
 ``run`` prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison); ``profile`` runs
@@ -19,7 +20,9 @@ survived, degradations, retries, and the fidelity delta (see README,
 "Chaos testing"); ``precompute`` runs the batched/parallel per-cell DoV
 pipeline with an optional resumable cache and emits a JSON summary whose
 ``digest`` field fingerprints the resulting table bit-for-bit (see
-README, "Precompute").
+README, "Precompute"); ``serve`` runs N concurrent walkthrough sessions
+against one tree through a shared buffer pool and emits a deterministic
+aggregate JSON report (see README, "Serving").
 """
 
 from __future__ import annotations
@@ -178,6 +181,43 @@ def build_parser() -> argparse.ArgumentParser:
                                  "(default: stdout)")
     precompute.add_argument("--quiet", action="store_true",
                             help="suppress the progress line on stderr")
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve N concurrent walkthrough sessions through a shared "
+             "buffer pool; emit a deterministic JSON report")
+    serve.add_argument("--sessions", type=int, default=8,
+                       help="concurrent walkthrough sessions (default: 8)")
+    serve.add_argument("--workers", type=int, default=4,
+                       help="fidelity-scoring worker threads (default: 4; "
+                            "never changes a byte of the report)")
+    serve.add_argument("--seed", type=int, default=7,
+                       help="session motion-pattern seed (default: 7); "
+                            "the same seed reproduces the same report")
+    serve.add_argument("--scale", default="small",
+                       choices=["small", "medium", "large"],
+                       help="environment scale (default: small)")
+    serve.add_argument("--eta", type=float, default=0.001,
+                       help="DoV threshold (default: 0.001)")
+    serve.add_argument("--frames", type=int, default=None,
+                       help="frames per session (default: the scale's)")
+    serve.add_argument("--scheme", default=None,
+                       help="storage scheme (default: the scale's)")
+    serve.add_argument("--max-active", type=int, default=None,
+                       help="admission-control slots (default: no limit)")
+    serve.add_argument("--frame-budget-ms", type=float, default=None,
+                       help="simulated per-frame deadline; sessions over "
+                            "budget shed their next query to the root LoD")
+    serve.add_argument("--pool-pages", type=int, default=256,
+                       help="shared buffer-pool capacity in pages "
+                            "(default: 256; 0 serves unpooled)")
+    serve.add_argument("--plan", default=None,
+                       help="optional fault plan to serve under "
+                            "(see 'repro chaos --list-plans')")
+    serve.add_argument("--fault-seed", type=int, default=0,
+                       help="fault-injector seed (default: 0)")
+    serve.add_argument("--output", default=None, metavar="FILE",
+                       help="write the report to FILE (default: stdout)")
 
     lint = sub.add_parser(
         "lint",
@@ -347,6 +387,35 @@ def cmd_precompute(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.errors import ReproError
+    from repro.serving import run_serve
+
+    try:
+        report = run_serve(sessions=args.sessions, workers=args.workers,
+                           seed=args.seed, scale=args.scale, eta=args.eta,
+                           frames=args.frames, scheme=args.scheme,
+                           max_active=args.max_active,
+                           frame_budget_ms=args.frame_budget_ms,
+                           pool_pages=args.pool_pages, plan=args.plan,
+                           fault_seed=args.fault_seed)
+    except ReproError as exc:
+        # Bad arguments or an unknown plan name: a usage error.
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        outcome = report["outcome"]
+        print(f"wrote {args.output} (completed={outcome['completed']}, "
+              f"{outcome['frames_served']} frames in "
+              f"{outcome['rounds']} rounds)")
+    else:
+        print(text)
+    return 0 if report["outcome"]["completed"] else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import all_rules, lint_paths, save_baseline
 
@@ -397,6 +466,8 @@ def main(argv=None) -> int:
         return cmd_chaos(args)
     if args.command == "precompute":
         return cmd_precompute(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "lint":
         return cmd_lint(args)
     return cmd_run(args.experiments, args.scale)

@@ -79,7 +79,20 @@ class DeltaSearch:
 
     def query_cell(self, cell_id: int, eta: float) -> SearchResult:
         """Run the traversal, fetching only non-resident model data."""
-        result = self.search.query_cell(cell_id, eta)
+        return self._integrate(self.search.query_cell(cell_id, eta))
+
+    def query_cell_degraded(self, cell_id: int, eta: float) -> SearchResult:
+        """Overload path (PR 5): the root-LoD-only degraded query.
+
+        Same residency logic as :meth:`query_cell` — if the root's
+        internal LoD is already cached at full detail, shedding load
+        costs no heavy I/O at all.
+        """
+        return self._integrate(
+            self.search.query_cell_degraded(cell_id, eta))
+
+    def _integrate(self, result: SearchResult) -> SearchResult:
+        """Fetch the result's non-resident models and update the cache."""
         env = self.search.env
 
         new_objects: Dict[int, _Resident] = {}

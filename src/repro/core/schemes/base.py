@@ -15,6 +15,7 @@ Schemes also report their storage cost for Table 2.
 from __future__ import annotations
 
 import abc
+import copy
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
@@ -22,6 +23,8 @@ from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.obs import names
 from repro.obs.metrics import get_registry
+from repro.storage import pageio
+from repro.storage.buffer import BufferPool
 from repro.storage.pagedfile import PagedFile
 
 
@@ -52,6 +55,11 @@ class StorageScheme(abc.ABC):
                  index_file: Optional[PagedFile] = None) -> None:
         self.vpage_file = vpage_file
         self.index_file = index_file
+        #: Optional shared page cache (set by the serving layer): when
+        #: present, V-page and index reads go through it so concurrent
+        #: sessions share hot pages.  ``None`` keeps the sequential
+        #: direct-``pageio`` path byte-for-byte unchanged.
+        self.page_cache: Optional[BufferPool] = None
         self.current_cell: Optional[int] = None
         self.flips = 0
         #: Prefetched per-cell state (double buffering): cell id ->
@@ -120,6 +128,67 @@ class StorageScheme(abc.ABC):
         """Discard warm cells (e.g. the viewer changed direction)."""
         self._warm.clear()
 
+    # -- serving support ------------------------------------------------------
+
+    def session_view(self) -> "StorageScheme":
+        """A lightweight per-session clone for concurrent serving.
+
+        The clone shares the built on-disk structures (files,
+        directory, page cache, metric handles) with its parent but
+        owns private *flip state* — current cell, loaded segment,
+        prefetch buffer — so two sessions standing in different cells
+        do not clobber each other's V-page index.  Counters on the
+        clone start at zero; the shared metric series keep aggregating
+        across all views of the scheme.
+        """
+        clone = copy.copy(self)
+        clone.current_cell = None
+        clone.flips = 0
+        clone.prefetched_flips = 0
+        clone._warm = {}
+        clone._reset_cell_state()
+        return clone
+
+    def _reset_cell_state(self) -> None:
+        """Drop loaded per-cell state (hook for :meth:`session_view`).
+
+        Deliberately a no-op (not abstract): stateless schemes, like
+        the horizontal one, keep no per-cell state to drop.
+        """
+        return None
+
+    def _read_vpage(self, pointer: int) -> bytes:
+        """Read one V-page — through the shared page cache when serving.
+
+        Both paths route the actual disk read through the
+        ``repro.storage.pageio`` facade, so retry + component
+        accounting are identical; the cache only decides whether the
+        read happens at all.
+        """
+        if self.page_cache is not None:
+            return self.page_cache.get(self.vpage_file, pointer,
+                                       reader=_scheme_reader)
+        return pageio.read_page(self.vpage_file, pointer,
+                                component="schemes")
+
+    def _read_index_run(self, first_page: int, count: int) -> bytes:
+        """Read ``count`` consecutive index pages as one buffer.
+
+        Without a page cache this is a single ``pageio.read_run``
+        (retried as a unit).  With one, each page is fetched through
+        the cache individually: hits are free, and misses — still in
+        ascending page order, so the sequential-access accounting is
+        preserved — are read and retried page-wise.
+        """
+        assert self.index_file is not None
+        if self.page_cache is None:
+            return pageio.read_run(self.index_file, first_page, count,
+                                   component="schemes")
+        cache = self.page_cache
+        return b"".join(cache.get(self.index_file, first_page + i,
+                                  reader=_scheme_reader)
+                        for i in range(count))
+
     @abc.abstractmethod
     def _load_cell(self, cell_id: int) -> None:
         """Scheme-specific flip work (may be a no-op)."""
@@ -169,6 +238,11 @@ class StorageScheme(abc.ABC):
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(cell={self.current_cell}, "
                 f"flips={self.flips})")
+
+
+def _scheme_reader(pfile: PagedFile, page_id: int) -> bytes:
+    """Buffer-pool miss reader: the sanctioned scheme-component read."""
+    return pageio.read_page(pfile, page_id, component="schemes")
 
 
 def vpages_needed(num_entries: int, page_size: int, header: int,

@@ -75,9 +75,7 @@ class HorizontalScheme(StorageScheme):
         cell_id = self._require_cell()
         if not 0 <= node_offset < self.num_nodes:
             raise SchemeError(f"node offset {node_offset} out of range")
-        data = pageio.read_page(self.vpage_file,
-                                self._page_id(node_offset, cell_id),
-                                component="schemes")
+        data = self._read_vpage(self._page_id(node_offset, cell_id))
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

@@ -82,11 +82,12 @@ class IndexedVerticalScheme(StorageScheme):
         if entry is None:
             raise SchemeError(f"cell {cell_id} out of range")
         first, num_pages, pair_count = entry
-        assert self.index_file is not None
-        data = pageio.read_run(self.index_file, first, num_pages,
-                               component="schemes")
+        data = self._read_index_run(first, num_pages)
         pairs = decode_index_pairs(data, pair_count)
         self._current_pairs = dict(pairs)
+
+    def _reset_cell_state(self) -> None:
+        self._current_pairs = {}
 
     def _capture_cell_state(self) -> Optional[Dict[int, int]]:
         return dict(self._current_pairs) if self._current_pairs else None
@@ -102,8 +103,7 @@ class IndexedVerticalScheme(StorageScheme):
         pointer = self._current_pairs.get(node_offset)
         if pointer is None:
             return None
-        data = pageio.read_page(self.vpage_file, pointer,
-                                component="schemes")
+        data = self._read_vpage(pointer)
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

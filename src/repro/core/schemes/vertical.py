@@ -98,11 +98,12 @@ class VerticalScheme(StorageScheme):
         """
         if not 0 <= cell_id < self.num_cells:
             raise SchemeError(f"cell {cell_id} out of range")
-        assert self.index_file is not None
-        data = pageio.read_run(self.index_file,
-                               self._segment_first_page(cell_id),
-                               self._segment_pages, component="schemes")
+        data = self._read_index_run(self._segment_first_page(cell_id),
+                                    self._segment_pages)
         self._current_segment = decode_pointer_array(data, self.num_nodes)
+
+    def _reset_cell_state(self) -> None:
+        self._current_segment = []
 
     def _capture_cell_state(self) -> Optional[List[int]]:
         return list(self._current_segment) if self._current_segment else None
@@ -120,8 +121,7 @@ class VerticalScheme(StorageScheme):
         pointer = self._current_segment[node_offset]
         if pointer == NIL:
             return None
-        data = pageio.read_page(self.vpage_file, pointer,
-                                component="schemes")
+        data = self._read_vpage(pointer)
         stored_offset, ventries = decode_vpage(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")

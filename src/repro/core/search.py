@@ -214,6 +214,24 @@ class HDoVSearch:
         self._m_results.observe(result.num_results)
         return result
 
+    def query_cell_degraded(self, cell_id: int, eta: float) -> SearchResult:
+        """Answer a query wholly from the root's internal LoD.
+
+        The serving scheduler's overload path (PR 5): when a session
+        misses its frame budget, the service sheds load by reusing the
+        PR-3 degradation ladder *proactively* — no flip, no node reads,
+        no V-page reads, just the view-invariant root LoD.  The answer
+        is complete but coarse, and ``result.degraded`` records it so
+        per-session reports can count overload-degraded frames.
+        """
+        if eta < 0.0:
+            raise HDoVError(f"eta must be >= 0, got {eta}")
+        result = SearchResult(cell_id=cell_id, eta=eta, flipped=False)
+        self._degrade(0, result)
+        self._m_queries.inc()
+        self._m_results.observe(result.num_results)
+        return result
+
     # -- figure 3 -------------------------------------------------------------
 
     def _search_node(self, node: Node, eta: float,

@@ -45,6 +45,16 @@ class BufferPoolError(StorageError):
     """Buffer-pool misuse (e.g. evicting a pinned page, unpin underflow)."""
 
 
+class BufferPoolExhaustedError(BufferPoolError):
+    """Every resident frame is pinned, so no victim can be evicted.
+
+    Raised instead of spinning (or silently overflowing the memory
+    budget) when a miss needs a free frame and all of them are held by
+    concurrent pinners.  Callers can back off and retry, or treat it as
+    an admission-control signal and shed load.
+    """
+
+
 class SerializationError(StorageError):
     """A record could not be encoded into or decoded from page bytes."""
 

@@ -40,6 +40,7 @@ BUFFERPOOL_PINS = "bufferpool_pins_total"
 BUFFERPOOL_UNPINS = "bufferpool_unpins_total"
 BUFFERPOOL_WRITEBACKS = "bufferpool_writebacks_total"
 BUFFERPOOL_RESIDENT_PAGES = "bufferpool_resident_pages"
+BUFFERPOOL_COALESCED = "bufferpool_coalesced_total"
 
 # -- repro.storage.pageio: cross-layer page traffic by component ------------
 
@@ -71,6 +72,15 @@ SCHEME_PREFETCHES = "scheme_prefetches_total"
 # -- repro.walkthrough: degradation accounting ------------------------------
 
 FRAMES_DEGRADED = "frames_degraded_total"
+
+# -- repro.serving: multi-session walkthrough service -----------------------
+
+SERVING_SESSIONS = "serving_sessions_total"
+SERVING_FRAMES = "serving_frames_total"
+SERVING_ROUNDS = "serving_rounds_total"
+SERVING_OVERLOAD_DEGRADED = "serving_overload_degraded_total"
+SERVING_ADMISSION_WAITS = "serving_admission_waits_total"
+SERVING_ACTIVE_SESSIONS = "serving_active_sessions"
 
 # -- repro.visibility.precompute: offline DoV pipeline ----------------------
 

@@ -1,0 +1,22 @@
+"""Concurrent multi-session walkthrough serving (PR 5).
+
+The ROADMAP north star is a production-scale service answering many
+viewers' walkthroughs against one HDoV-tree.  This package provides the
+first rung: N recorded sessions served through one shared, thread-safe
+:class:`~repro.storage.buffer.BufferPool`, scheduled in deterministic
+rounds with frame-budget admission control, and reported as a JSON
+document that is a pure function of the configuration (so CI can diff
+two runs byte-for-byte).
+"""
+
+from repro.serving.pooled import PooledNodeStore
+from repro.serving.scheduler import SessionScheduler
+from repro.serving.service import run_serve
+from repro.serving.session import ServingSession
+
+__all__ = [
+    "PooledNodeStore",
+    "ServingSession",
+    "SessionScheduler",
+    "run_serve",
+]

@@ -1,20 +1,42 @@
-"""LRU buffer pool over a :class:`~repro.storage.pagedfile.PagedFile`.
+"""Thread-safe LRU buffer pool over :class:`~repro.storage.pagedfile.PagedFile`.
 
 The walkthrough systems cache tree nodes and V-pages; the buffer pool
 makes cache hits free and tracks hit/miss counts.  Pages can be pinned to
 protect them from eviction while a traversal holds references.
+
+Concurrency model (see DESIGN.md §10):
+
+* one pool-wide :class:`threading.RLock` guards all frame-table state —
+  get/put/evict/unpin/flush/clear are linearized on it;
+* a per-``(file, page)`` *in-flight read latch* gives single-flight
+  reads: the first thread to miss a page becomes the owner and performs
+  the disk read with the pool lock **released**; later threads faulting
+  the same page block on the latch and share the owner's bytes (they
+  count as hits, plus a ``coalesced`` counter, because no disk read was
+  issued on their behalf);
+* lock order is pool lock → file lock, never the reverse.  The pool
+  calls into a :class:`PagedFile` while holding its lock only for
+  eviction write-back; miss reads happen outside the pool lock so a slow
+  read of one page never blocks hits on other pages.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, BufferPoolExhaustedError
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
+
+#: Signature for a pluggable miss reader: ``reader(pfile, page_id) -> bytes``.
+#: The serving layer injects a reader that routes through the
+#: ``repro.storage.pageio`` facade so pool misses are retried and counted
+#: like every other sanctioned page access.
+PageReader = Callable[[PagedFile, int], bytes]
 
 
 @dataclass
@@ -24,8 +46,21 @@ class _Frame:
     dirty: bool = False
 
 
+@dataclass
+class _Latch:
+    """In-flight read marker for one ``(file, page)`` key.
+
+    The owner thread sets exactly one of ``data``/``error`` before
+    signalling ``done``; waiters read the fields only after ``done``.
+    """
+
+    done: threading.Event = field(default_factory=threading.Event)
+    data: Optional[bytes] = None
+    error: Optional[BaseException] = None
+
+
 class BufferPool:
-    """Fixed-capacity page cache with LRU replacement.
+    """Fixed-capacity page cache with LRU replacement, safe under threads.
 
     Keys are ``(file, page_id)`` pairs, so one pool can front several
     files (tree file, V-page file, object store) with a single memory
@@ -49,11 +84,14 @@ class BufferPool:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
+        self._lock = threading.RLock()
         self._frames: "OrderedDict[Tuple[int, int], _Frame]" = OrderedDict()
         self._files: Dict[int, PagedFile] = {}
+        self._latches: Dict[Tuple[int, int], _Latch] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.coalesced = 0
         registry = get_registry()
         self._m_hits = registry.counter(names.BUFFERPOOL_HITS, pool=name)
         self._m_misses = registry.counter(names.BUFFERPOOL_MISSES,
@@ -65,6 +103,8 @@ class BufferPool:
                                           pool=name)
         self._m_writebacks = registry.counter(
             names.BUFFERPOOL_WRITEBACKS, pool=name)
+        self._m_coalesced = registry.counter(
+            names.BUFFERPOOL_COALESCED, pool=name)
         self._m_resident = registry.gauge(names.BUFFERPOOL_RESIDENT_PAGES,
                                           pool=name)
 
@@ -76,6 +116,7 @@ class BufferPool:
         return (fid, page_id)
 
     def _evict_one(self) -> None:
+        """Evict the least recently used unpinned frame.  Caller holds lock."""
         for key, frame in self._frames.items():
             if frame.pin_count == 0:
                 if frame.dirty:
@@ -86,57 +127,149 @@ class BufferPool:
                 self.evictions += 1
                 self._m_evictions.inc()
                 return
-        raise BufferPoolError("all frames are pinned; cannot evict")
+        raise BufferPoolExhaustedError(
+            f"all {len(self._frames)} frames are pinned; cannot evict")
+
+    def _install(self, key: Tuple[int, int], frame: _Frame) -> None:
+        """Insert ``frame``, evicting until under capacity.  Caller holds lock.
+
+        Concurrent owners can momentarily push the table past capacity
+        between their pre-read eviction and install, so installation
+        enforces the bound again.
+        """
+        while len(self._frames) >= self.capacity:
+            self._evict_one()
+        self._frames[key] = frame
+        self._m_resident.set(len(self._frames))
+
+    def _pin_locked(self, frame: _Frame) -> None:
+        frame.pin_count += 1
+        self._m_pins.inc()
 
     # -- public API -------------------------------------------------------------
 
-    def get(self, pfile: PagedFile, page_id: int, *, pin: bool = False) -> bytes:
-        """Return page contents, reading through the file on a miss."""
+    def get(self, pfile: PagedFile, page_id: int, *, pin: bool = False,
+            reader: Optional[PageReader] = None) -> bytes:
+        """Return page contents, reading through the file on a miss.
+
+        ``reader`` overrides how a miss fetches bytes (default
+        ``pfile.read_page``); the serving layer passes a
+        ``pageio``-routed reader so misses get retry + component
+        accounting.  Concurrent misses on the same page coalesce into
+        one read: only the owner's ``reader`` runs, and every waiter
+        counts a hit plus ``coalesced``.
+        """
         key = self._key(pfile, page_id)
-        frame = self._frames.get(key)
-        if frame is not None:
-            self.hits += 1
-            self._m_hits.inc()
-            self._frames.move_to_end(key)
-        else:
-            self.misses += 1
-            self._m_misses.inc()
-            if len(self._frames) >= self.capacity:
-                self._evict_one()
-            frame = _Frame(pfile.read_page(page_id))
-            self._frames[key] = frame
-            self._m_resident.set(len(self._frames))
-        if pin:
-            frame.pin_count += 1
-            self._m_pins.inc()
-        return frame.data
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self.hits += 1
+                self._m_hits.inc()
+                self._frames.move_to_end(key)
+                if pin:
+                    self._pin_locked(frame)
+                return frame.data
+            latch = self._latches.get(key)
+            owner = latch is None
+            if owner:
+                # Count the miss and free a frame *before* the read
+                # (matching the sequential pool's eviction-then-read I/O
+                # order), then read with the lock released.
+                self.misses += 1
+                self._m_misses.inc()
+                if len(self._frames) >= self.capacity:
+                    self._evict_one()
+                latch = _Latch()
+                self._latches[key] = latch
+            else:
+                # Another thread is already reading this page; its bytes
+                # will be shared, so no disk read is charged to us.
+                self.hits += 1
+                self.coalesced += 1
+                self._m_hits.inc()
+                self._m_coalesced.inc()
+        assert latch is not None
+        if owner:
+            return self._read_as_owner(key, pfile, page_id, latch,
+                                       pin=pin, reader=reader)
+        return self._wait_as_waiter(key, latch, pin=pin)
+
+    def _read_as_owner(self, key: Tuple[int, int], pfile: PagedFile,
+                       page_id: int, latch: _Latch, *, pin: bool,
+                       reader: Optional[PageReader]) -> bytes:
+        """Perform the single-flight read.  Caller does NOT hold the lock."""
+        try:
+            if reader is not None:
+                data = reader(pfile, page_id)
+            else:
+                data = pfile.read_page(page_id)
+        except BaseException as exc:
+            # Propagate the failure to every waiter, then clear the latch
+            # so a later get() retries the read instead of deadlocking.
+            with self._lock:
+                latch.error = exc
+                self._latches.pop(key, None)
+                latch.done.set()
+            raise
+        with self._lock:
+            frame = _Frame(data)
+            self._install(key, frame)
+            if pin:
+                self._pin_locked(frame)
+            latch.data = data
+            self._latches.pop(key, None)
+            latch.done.set()
+        return data
+
+    def _wait_as_waiter(self, key: Tuple[int, int], latch: _Latch, *,
+                        pin: bool) -> bytes:
+        latch.done.wait()
+        if latch.error is not None:
+            raise latch.error
+        data = latch.data
+        assert data is not None
+        with self._lock:
+            frame = self._frames.get(key)
+            if frame is not None:
+                self._frames.move_to_end(key)
+                if pin:
+                    self._pin_locked(frame)
+                return frame.data
+            # The frame was already evicted between the owner's install
+            # and this waiter waking up; the latched bytes stay valid.
+            # Re-install only if the caller needs a pinned residency.
+            if pin:
+                frame = _Frame(data)
+                self._install(key, frame)
+                self._pin_locked(frame)
+        return data
 
     def put(self, pfile: PagedFile, page_id: int, data: bytes) -> None:
         """Install new page contents; written back on eviction or flush."""
         if len(data) > pfile.page_size:
             raise BufferPoolError("payload exceeds page size")
-        key = self._key(pfile, page_id)
-        frame = self._frames.get(key)
-        if frame is None:
-            if len(self._frames) >= self.capacity:
-                self._evict_one()
-            frame = _Frame(data=b"")
-            self._frames[key] = frame
-            self._m_resident.set(len(self._frames))
-        frame.data = bytes(data)
-        frame.dirty = True
-        self._frames.move_to_end(key)
+        with self._lock:
+            key = self._key(pfile, page_id)
+            frame = self._frames.get(key)
+            if frame is None:
+                frame = _Frame(data=b"")
+                self._install(key, frame)
+            frame.data = bytes(data)
+            frame.dirty = True
+            self._frames.move_to_end(key)
 
     def unpin(self, pfile: PagedFile, page_id: int) -> None:
-        key = (pfile.file_id, page_id)
-        frame = self._frames.get(key)
-        if frame is None or frame.pin_count == 0:
-            raise BufferPoolError(f"unpin of unpinned page {page_id}")
-        frame.pin_count -= 1
-        self._m_unpins.inc()
+        with self._lock:
+            key = (pfile.file_id, page_id)
+            frame = self._frames.get(key)
+            if frame is None or frame.pin_count == 0:
+                raise BufferPoolError(f"unpin of unpinned page {page_id}")
+            frame.pin_count -= 1
+            self._m_unpins.inc()
 
     def contains(self, pfile: PagedFile, page_id: int) -> bool:
-        return (pfile.file_id, page_id) in self._frames
+        with self._lock:
+            return (pfile.file_id, page_id) in self._frames
 
     def flush(self) -> None:
         """Write back every dirty frame (keeps frames resident).
@@ -144,11 +277,12 @@ class BufferPool:
         Write-back order is frame LRU order (least recently used first),
         matching the order evictions would have flushed them.
         """
-        for (fid, page_id), frame in self._frames.items():
-            if frame.dirty:
-                self._files[fid].write_page(page_id, frame.data)
-                self._m_writebacks.inc()
-                frame.dirty = False
+        with self._lock:
+            for (fid, page_id), frame in self._frames.items():
+                if frame.dirty:
+                    self._files[fid].write_page(page_id, frame.data)
+                    self._m_writebacks.inc()
+                    frame.dirty = False
 
     def clear(self) -> None:
         """Flush and drop all frames *and* file references.
@@ -157,21 +291,24 @@ class BufferPool:
         pool must not keep closed or discarded ``PagedFile`` objects
         alive after the caller is done with them.
         """
-        if any(f.pin_count for f in self._frames.values()):
-            raise BufferPoolError("cannot clear: pinned pages present")
-        self.flush()
-        self._frames.clear()
-        self._files.clear()
-        self._m_resident.set(0)
+        with self._lock:
+            if any(f.pin_count for f in self._frames.values()):
+                raise BufferPoolError("cannot clear: pinned pages present")
+            self.flush()
+            self._frames.clear()
+            self._files.clear()
+            self._m_resident.set(0)
 
     @property
     def resident_pages(self) -> int:
-        return len(self._frames)
+        with self._lock:
+            return len(self._frames)
 
     @property
     def hit_rate(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     def __repr__(self) -> str:
         return (f"BufferPool(capacity={self.capacity}, "

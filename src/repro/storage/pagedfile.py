@@ -15,6 +15,7 @@ from __future__ import annotations
 import itertools
 import os
 import struct
+import threading
 import zlib
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -106,6 +107,15 @@ class PagedFile:
                                     else page_size + _TRAILER.size)
         self._last_accessed: Optional[int] = None
         self._closed = False
+        #: Serializes page access per file: charge + fault hooks + backend
+        #: read/write become one atomic step, so concurrent readers (e.g.
+        #: buffer-pool miss fills from different threads) cannot interleave
+        #: head tracking with the seek they are charged for.  Lock order is
+        #: pool lock → file lock (see DESIGN.md §10); a file never calls
+        #: back into a pool.  Sharing one IOStats between files accessed
+        #: from different threads still needs external serialization — the
+        #: serving scheduler provides it.
+        self._io_lock = threading.RLock()
         if path is not None:
             # "r+b" keeps seek+write semantics; append mode would force
             # every write to the end of the file regardless of seeks.
@@ -173,8 +183,9 @@ class PagedFile:
         """
         if ms < 0:
             raise StorageError(f"{self.name}: negative delay {ms}")
-        self.stats.simulated_ms += ms
-        self._m_ms.inc(ms)
+        with self._io_lock:
+            self.stats.simulated_ms += ms
+            self._m_ms.inc(ms)
 
     # -- allocation ------------------------------------------------------------
 
@@ -202,12 +213,14 @@ class PagedFile:
         """Allocate ``count`` consecutive pages; returns the first id."""
         if count < 1:
             raise StorageError(f"count must be >= 1, got {count}")
-        self._check_open()
-        first = self._num_pages
-        self._num_pages += count
-        if self._fh is not None:
-            self._fh.truncate(self._num_pages * self._physical_page_size)
-        return first
+        with self._io_lock:
+            self._check_open()
+            first = self._num_pages
+            self._num_pages += count
+            if self._fh is not None:
+                self._fh.truncate(
+                    self._num_pages * self._physical_page_size)
+            return first
 
     # -- access ------------------------------------------------------------
 
@@ -244,29 +257,31 @@ class PagedFile:
         real I/O still pays the seek, and both ledgers must count every
         attempt or the retry layer would make I/O look free.
         """
-        self._check_open()
-        self._validate(page_id)
-        self._charge(page_id, write=False)
-        if self._faults is not None:
-            self._faults.before_read(self, page_id)
-        if self._fh is None:
-            stored = self._mem.get(page_id)
-            # Allocated but never written: lazily materialise zeros.
-            data = stored if stored is not None else bytes(self.page_size)
+        with self._io_lock:
+            self._check_open()
+            self._validate(page_id)
+            self._charge(page_id, write=False)
+            if self._faults is not None:
+                self._faults.before_read(self, page_id)
+            if self._fh is None:
+                stored = self._mem.get(page_id)
+                # Allocated but never written: lazily materialise zeros.
+                data = (stored if stored is not None
+                        else bytes(self.page_size))
+                if self._faults is not None:
+                    data = self._faults.filter_read(self, page_id, data)
+                    self._verify_mem(page_id, data)
+                return data
+            self._fh.seek(page_id * self._physical_page_size)
+            raw = self._fh.read(self._physical_page_size)
+            if len(raw) != self._physical_page_size:
+                raise self._corrupt(page_id, "short read")
+            data = raw[:self.page_size]
+            trailer = raw[self.page_size:]
             if self._faults is not None:
                 data = self._faults.filter_read(self, page_id, data)
-                self._verify_mem(page_id, data)
+            self._verify_disk(page_id, data, trailer)
             return data
-        self._fh.seek(page_id * self._physical_page_size)
-        raw = self._fh.read(self._physical_page_size)
-        if len(raw) != self._physical_page_size:
-            raise self._corrupt(page_id, "short read")
-        data = raw[:self.page_size]
-        trailer = raw[self.page_size:]
-        if self._faults is not None:
-            data = self._faults.filter_read(self, page_id, data)
-        self._verify_disk(page_id, data, trailer)
-        return data
 
     def _corrupt(self, page_id: int, why: str) -> PageCorruptError:
         """Count and build (not raise) a corruption error."""
@@ -306,24 +321,26 @@ class PagedFile:
         reach the backend — which is exactly how a torn write becomes a
         detectable CRC mismatch on the next read.
         """
-        self._check_open()
-        self._validate(page_id)
-        if len(data) > self.page_size:
-            raise StorageError(
-                f"{self.name}: payload {len(data)} exceeds page size")
-        if len(data) < self.page_size:
-            data = data + bytes(self.page_size - len(data))
-        self._charge(page_id, write=True)
-        crc = zlib.crc32(data)
-        if self._faults is not None:
-            self._faults.before_write(self, page_id)
-            data = self._faults.filter_write(self, page_id, data)
-        if self._fh is None:
-            self._mem[page_id] = bytes(data)
-            self._crcs[page_id] = crc
-        else:
-            self._fh.seek(page_id * self._physical_page_size)
-            self._fh.write(data + _TRAILER.pack(_TRAILER_MAGIC, crc))
+        with self._io_lock:
+            self._check_open()
+            self._validate(page_id)
+            if len(data) > self.page_size:
+                raise StorageError(
+                    f"{self.name}: payload {len(data)} exceeds page size")
+            if len(data) < self.page_size:
+                data = data + bytes(self.page_size - len(data))
+            self._charge(page_id, write=True)
+            crc = zlib.crc32(data)
+            if self._faults is not None:
+                self._faults.before_write(self, page_id)
+                data = self._faults.filter_write(self, page_id, data)
+            if self._fh is None:
+                self._mem[page_id] = bytes(data)
+                self._crcs[page_id] = crc
+            else:
+                self._fh.seek(page_id * self._physical_page_size)
+                self._fh.write(
+                    data + _TRAILER.pack(_TRAILER_MAGIC, crc))
 
     def append_page(self, data: bytes) -> int:
         """Allocate and write in one step; returns the new page id."""

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import BufferPoolError
+from repro.errors import BufferPoolError, BufferPoolExhaustedError
 from repro.storage.buffer import BufferPool
 from repro.storage.disk import DiskModel, IOStats
 from repro.storage.pagedfile import PagedFile
@@ -47,12 +47,19 @@ def test_pinned_pages_survive_eviction(pfile):
     pool.unpin(pfile, 0)
 
 
-def test_all_pinned_raises(pfile):
+def test_all_pinned_raises_typed_exhausted_error(pfile):
     pool = BufferPool(capacity=2)
     pool.get(pfile, 0, pin=True)
     pool.get(pfile, 1, pin=True)
-    with pytest.raises(BufferPoolError):
+    with pytest.raises(BufferPoolExhaustedError):
         pool.get(pfile, 2)
+    # The typed error is a BufferPoolError, so existing handlers that
+    # catch the base class keep working.
+    assert issubclass(BufferPoolExhaustedError, BufferPoolError)
+    # The failed get still counted its miss but installed nothing.
+    assert pool.resident_pages == 2
+    pool.unpin(pfile, 0)
+    assert pool.get(pfile, 2) == (bytes([2]) * 8).ljust(64, b"\x00")
 
 
 def test_unpin_underflow(pfile):
