@@ -1,0 +1,84 @@
+"""Bench: traffic latency/shed curve — offered load vs service quality.
+
+Offers the same seeded session stream to the HTTP front-end at two
+offered loads (a comfortable one and an overloaded one, same admission
+slots) and emits ``BENCH_traffic.json``: p50/p95/p99 *simulated* frame
+latency, shed rate, frames served and request counts per load point.
+
+Everything tracked by the regression gate is machine-independent — the
+virtual-clock latency percentiles, serve rate (1 - shed rate: the gate
+wants higher-is-better) and the served-frame/request counts are pure
+functions of (seed, load, config), so a noisy runner can neither fake
+a regression nor hide one.  Wall-clock seconds ride along for
+information only.
+
+Shape expectation (the PR 6 acceptance bar): pushing the offered load
+past the admission capacity must shed sessions — the overloaded point
+sheds strictly more than the comfortable one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.serving.loadgen import run_traffic
+
+#: Offered loads in sessions per virtual second.  Capacity with 8 slots
+#: and ~20 frames of ~5-90 simulated ms each is well under 200/s, so
+#: the second point overloads while the first stays comfortable.
+ARRIVAL_RATES = (25.0, 200.0)
+SESSIONS = 100
+FRAMES = 20
+MAX_ACTIVE = 8
+SEED = 0
+OUTPUT = "BENCH_traffic.json"
+
+
+def test_traffic_curve(capsys):
+    curve = {}
+    for rate in ARRIVAL_RATES:
+        start = time.perf_counter()
+        report = run_traffic(sessions=SESSIONS, seed=SEED, frames=FRAMES,
+                             arrival_rate=rate, max_active=MAX_ACTIVE)
+        elapsed = time.perf_counter() - start
+        det = report["deterministic"]
+        assert det["requests"]["unexpected"] == {}
+        assert det["sessions"]["completed"] == det["sessions"]["admitted"]
+
+        latency = det["sim_frame_ms"]
+        curve[f"{rate:g}"] = {
+            "offered": det["sessions"]["offered"],
+            "admitted": det["sessions"]["admitted"],
+            "shed": det["sessions"]["shed"],
+            "shed_rate": round(det["sessions"]["shed_rate"], 4),
+            "serve_rate": round(det["sessions"]["serve_rate"], 4),
+            "frames": det["frames"]["served"],
+            "requests": det["requests"]["total"],
+            "sim_frame_ms_p50": round(latency["p50"], 4),
+            "sim_frame_ms_p95": round(latency["p95"], 4),
+            "sim_frame_ms_p99": round(latency["p99"], 4),
+            "wall_seconds": round(elapsed, 4),
+        }
+
+    report = {
+        "scale": "small",
+        "seed": SEED,
+        "sessions_offered": SESSIONS,
+        "frames_per_session": FRAMES,
+        "max_active": MAX_ACTIVE,
+        "cpu_count": os.cpu_count(),
+        "loads": curve,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    with capsys.disabled():
+        print()
+        print(json.dumps(report, indent=2, sort_keys=True))
+
+    # Overload must shed: admission control, not silent queueing.
+    low, high = (curve[f"{rate:g}"] for rate in ARRIVAL_RATES)
+    assert high["shed"] > low["shed"]
+    assert high["serve_rate"] < low["serve_rate"]

@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RPR001``–``RPR008``).
+"""The repo-specific lint rules (``RPR001``–``RPR009``).
 
 Each rule encodes an invariant that a past bug (PR 1's I/O-accounting
 fixes) or a structural decision (the observability layer) established,
@@ -57,6 +57,19 @@ FAULT_BOUNDARY_MODULES = frozenset({
 
 #: Registry methods that take a metric name as first argument.
 METRIC_METHODS = frozenset({"counter", "gauge", "histogram", "value"})
+
+#: The HTTP front-end package whose handlers must stay clock-free
+#: (RPR009) so its machine-independent report sections stay exact.
+HTTP_PACKAGE = "repro.serving.http"
+
+#: The single module under :data:`HTTP_PACKAGE` allowed to read clocks.
+HTTP_TIMING_MODULE = "repro.serving.http.middleware"
+
+#: Clock-reading callables in the ``time`` module (RPR009).
+CLOCK_FUNCTIONS = frozenset({
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -623,3 +636,68 @@ class TypingRatchetRule(ModuleRule):
                     _dotted(node) in {"typing." + node.attr,
                                       "t." + node.attr}:
                 yield node
+
+
+@register
+class HttpTimingBoundaryRule(ModuleRule):
+    """RPR009: only the timing middleware reads clocks in the front-end.
+
+    The traffic harness promises that everything in a report except
+    wall-clock latency is a pure function of the request sequence —
+    byte-identical across machines for a fixed seed.  That promise only
+    holds if no handler, stats aggregator or parser under
+    ``repro.serving.http`` reads a clock: one stray ``perf_counter()``
+    folded into a response body silently poisons the deterministic
+    section.  All timing therefore lives in exactly one module, the
+    middleware, which measures each request once and hands finished
+    durations to the clock-free collector.
+    """
+
+    code = "RPR009"
+    name = "http-timing-boundary"
+    summary = ("clock reads (time.time/perf_counter/monotonic/...) are "
+               "forbidden under repro.serving.http outside the timing "
+               "middleware; measure once in the middleware and pass "
+               "durations down")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if not ctx.in_package(HTTP_PACKAGE):
+            return
+        if ctx.module == HTTP_TIMING_MODULE:
+            return
+        time_aliases: Set[str] = set()
+        func_aliases: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "time":
+                        time_aliases.add(alias.asname or "time")
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    for alias in node.names:
+                        if alias.name in CLOCK_FUNCTIONS:
+                            func_aliases.add(alias.asname or alias.name)
+        if not time_aliases and not func_aliases:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            flagged = False
+            clock = None
+            if isinstance(node.func, ast.Attribute) and \
+                    node.func.attr in CLOCK_FUNCTIONS:
+                receiver = _dotted(node.func.value)
+                if receiver in time_aliases:
+                    flagged = True
+                    clock = f"time.{node.func.attr}"
+            elif isinstance(node.func, ast.Name) and \
+                    node.func.id in func_aliases:
+                flagged = True
+                clock = node.func.id
+            if flagged:
+                yield ctx.diagnostic(
+                    self, node,
+                    f"{clock}() inside repro.serving.http but outside "
+                    f"the timing middleware; the front-end's "
+                    f"deterministic-report promise requires all clock "
+                    f"reads to live in {HTTP_TIMING_MODULE}")

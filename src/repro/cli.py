@@ -10,6 +10,7 @@ Usage::
     python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
     python -m repro precompute [--workers 4] [--cache-dir DIR] [--resume]
     python -m repro serve [--sessions 8] [--workers 4] [--seed 7]
+    python -m repro traffic [--sessions 200] [--seed 0] [--arrival-rate 50]
 
 ``run`` prints the same rows/series the paper reports (see
 EXPERIMENTS.md for the paper-vs-measured comparison); ``profile`` runs
@@ -22,7 +23,11 @@ pipeline with an optional resumable cache and emits a JSON summary whose
 ``digest`` field fingerprints the resulting table bit-for-bit (see
 README, "Precompute"); ``serve`` runs N concurrent walkthrough sessions
 against one tree through a shared buffer pool and emits a deterministic
-aggregate JSON report (see README, "Serving").
+aggregate JSON report (see README, "Serving"); ``traffic`` offers a
+seeded Poisson stream of walkthrough sessions to the HTTP front-end and
+reports shed rate, frame-latency percentiles, and per-route request
+stats, with the machine-independent sections byte-identical for a fixed
+seed (see README, "Traffic").
 """
 
 from __future__ import annotations
@@ -218,6 +223,56 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fault-injector seed (default: 0)")
     serve.add_argument("--output", default=None, metavar="FILE",
                        help="write the report to FILE (default: stdout)")
+
+    traffic = sub.add_parser(
+        "traffic",
+        help="offer a seeded Poisson stream of walkthrough sessions to "
+             "the HTTP front-end; emit a traffic/latency JSON report")
+    traffic.add_argument("--sessions", type=int, default=200,
+                         help="sessions offered (default: 200)")
+    traffic.add_argument("--seed", type=int, default=0,
+                         help="arrival/pattern seed (default: 0); the "
+                              "same seed reproduces the deterministic "
+                              "report sections byte-for-byte")
+    traffic.add_argument("--workers", type=int, default=1,
+                         help="echoed for symmetry with serve (default: "
+                              "1; never changes a deterministic byte)")
+    traffic.add_argument("--scale", default="small",
+                         choices=["small", "medium", "large"],
+                         help="environment scale (default: small)")
+    traffic.add_argument("--eta", type=float, default=0.001,
+                         help="DoV threshold (default: 0.001)")
+    traffic.add_argument("--frames", type=int, default=30,
+                         help="frames per session (default: 30 — many "
+                              "short sessions, not a few long ones)")
+    traffic.add_argument("--scheme", default=None,
+                         help="storage scheme (default: the scale's)")
+    traffic.add_argument("--arrival-rate", type=float, default=50.0,
+                         help="offered load in sessions per virtual "
+                              "second (default: 50)")
+    traffic.add_argument("--hot-fraction", type=float, default=0.5,
+                         help="fraction of arrivals replaying the hot "
+                              "path, pattern 1 (default: 0.5)")
+    traffic.add_argument("--max-active", type=int, default=32,
+                         help="admission slots; arrivals past this are "
+                              "shed with a 503 (default: 32)")
+    traffic.add_argument("--frame-budget-ms", type=float, default=None,
+                         help="simulated per-frame deadline; sessions "
+                              "over budget degrade their next query")
+    traffic.add_argument("--pool-pages", type=int, default=256,
+                         help="shared buffer-pool capacity in pages "
+                              "(default: 256; 0 serves unpooled)")
+    traffic.add_argument("--plan", default=None,
+                         help="optional fault plan to serve under "
+                              "(see 'repro chaos --list-plans')")
+    traffic.add_argument("--fault-seed", type=int, default=0,
+                         help="fault-injector seed (default: 0)")
+    traffic.add_argument("--deterministic-only", action="store_true",
+                         help="emit only the machine-independent "
+                              "sections (what the CI job diffs)")
+    traffic.add_argument("--output", default=None, metavar="FILE",
+                         help="write the report to FILE (default: "
+                              "stdout)")
 
     lint = sub.add_parser(
         "lint",
@@ -416,6 +471,42 @@ def cmd_serve(args) -> int:
     return 0 if report["outcome"]["completed"] else 1
 
 
+def cmd_traffic(args) -> int:
+    from repro.errors import ReproError
+    from repro.serving.loadgen import run_traffic
+
+    try:
+        report = run_traffic(sessions=args.sessions, seed=args.seed,
+                             workers=args.workers, scale=args.scale,
+                             eta=args.eta, frames=args.frames,
+                             scheme=args.scheme,
+                             arrival_rate=args.arrival_rate,
+                             hot_fraction=args.hot_fraction,
+                             max_active=args.max_active,
+                             frame_budget_ms=args.frame_budget_ms,
+                             pool_pages=args.pool_pages, plan=args.plan,
+                             fault_seed=args.fault_seed)
+    except ReproError as exc:
+        # Bad arguments or an unknown plan name: a usage error.
+        print(f"repro traffic: {exc}", file=sys.stderr)
+        return 2
+    if args.deterministic_only:
+        report = {key: report[key] for key in ("traffic", "deterministic")}
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        det = report["deterministic"]
+        print(f"wrote {args.output} "
+              f"(offered={det['sessions']['offered']}, "
+              f"shed_rate={det['sessions']['shed_rate']:.3f}, "
+              f"frames={det['frames']['served']})")
+    else:
+        print(text)
+    unexpected = report["deterministic"]["requests"]["unexpected"]
+    return 0 if not unexpected else 1
+
+
 def cmd_lint(args) -> int:
     from repro.analysis import all_rules, lint_paths, save_baseline
 
@@ -468,6 +559,8 @@ def main(argv=None) -> int:
         return cmd_precompute(args)
     if args.command == "serve":
         return cmd_serve(args)
+    if args.command == "traffic":
+        return cmd_traffic(args)
     if args.command == "lint":
         return cmd_lint(args)
     return cmd_run(args.experiments, args.scale)

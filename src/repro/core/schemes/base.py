@@ -46,13 +46,25 @@ class StorageBreakdown:
         return self.total_bytes / (1024.0 * 1024.0)
 
 
+#: Default cap on the warm prefetch buffer: one cell ahead plus one
+#: stale entry about to be evicted.  A warm entry for a cell the viewer
+#: never flips to must not be kept forever (the serving path never
+#: calls ``drop_prefetches``), so the buffer keeps only the most
+#: recently prefetched K cells.
+DEFAULT_WARM_CAPACITY = 2
+
+
 class StorageScheme(abc.ABC):
     """Abstract base of the three storage schemes."""
 
     name: str = "abstract"
 
     def __init__(self, vpage_file: PagedFile,
-                 index_file: Optional[PagedFile] = None) -> None:
+                 index_file: Optional[PagedFile] = None,
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        if warm_capacity < 1:
+            raise SchemeError(
+                f"warm_capacity must be >= 1, got {warm_capacity}")
         self.vpage_file = vpage_file
         self.index_file = index_file
         #: Optional shared page cache (set by the serving layer): when
@@ -64,7 +76,10 @@ class StorageScheme(abc.ABC):
         self.flips = 0
         #: Prefetched per-cell state (double buffering): cell id ->
         #: captured segment state, installed for free at flip time.
+        #: Bounded: insertion-ordered, the oldest entry is evicted once
+        #: more than ``warm_capacity`` cells are warm.
         self._warm: Dict[int, object] = {}
+        self.warm_capacity = warm_capacity
         self.prefetched_flips = 0
         registry = get_registry()
         self._m_flips = registry.counter(names.SCHEME_FLIPS,
@@ -109,13 +124,20 @@ class StorageScheme(abc.ABC):
         self.flips += 1
         self._m_flips.inc()
 
-    def prefetch_cell(self, cell_id: int) -> None:
+    def prefetch_cell(self, cell_id: int) -> bool:
         """Read ``cell_id``'s per-cell structures *now* (charging the
         I/O on the current, presumably quiet, frame) and stash them so
         the eventual flip is free.  A later flip to a different cell
-        simply leaves the warm entry unused."""
+        simply leaves the warm entry unused (bounded by
+        ``warm_capacity``: the oldest warm entry is evicted first).
+
+        Returns whether a prefetch actually happened: ``False`` when the
+        target is already current or already warm, so callers' counters
+        stay in agreement with the ``scheme_prefetches_total`` metric,
+        which only counts issued work.
+        """
         if cell_id == self.current_cell or cell_id in self._warm:
-            return
+            return False
         self._m_prefetches.inc()
         current_state = self._capture_cell_state()
         self._load_cell(cell_id)
@@ -123,6 +145,14 @@ class StorageScheme(abc.ABC):
         # Restore the active cell's state without re-reading it.
         if self.current_cell is not None and current_state is not None:
             self._restore_cell_state(current_state)
+        while len(self._warm) > self.warm_capacity:
+            oldest = next(iter(self._warm))
+            del self._warm[oldest]
+            # Created lazily: runs that never overflow the warm buffer
+            # register no eviction series.
+            get_registry().counter(names.SCHEME_WARM_EVICTIONS,
+                                   scheme=self.name).inc()
+        return True
 
     def drop_prefetches(self) -> None:
         """Discard warm cells (e.g. the viewer changed direction)."""
@@ -205,6 +235,16 @@ class StorageScheme(abc.ABC):
         never capture anything, so there is nothing to restore.
         """
         return None
+
+    def _cell_state_bytes(self, state: Optional[object]) -> int:
+        """Resident size of one captured cell state (0 when stateless)."""
+        return 0
+
+    def warm_bytes(self) -> int:
+        """Bytes held by the warm prefetch buffer — part of the scheme's
+        runtime residency, so :meth:`resident_bytes` must include it."""
+        return sum(self._cell_state_bytes(state)
+                   for state in self._warm.values())
 
     @abc.abstractmethod
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.core.schemes.base import StorageBreakdown, StorageScheme
+from repro.core.schemes.base import (DEFAULT_WARM_CAPACITY,
+                                     StorageBreakdown, StorageScheme)
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
@@ -28,8 +29,10 @@ class HorizontalScheme(StorageScheme):
 
     name = "horizontal"
 
-    def __init__(self, vpage_file: PagedFile) -> None:
-        super().__init__(vpage_file, index_file=None)
+    def __init__(self, vpage_file: PagedFile,
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        super().__init__(vpage_file, index_file=None,
+                         warm_capacity=warm_capacity)
         self.num_nodes = 0
         self.num_cells = 0
         self._first_page: Optional[int] = None
@@ -93,4 +96,6 @@ class HorizontalScheme(StorageScheme):
         )
 
     def resident_bytes(self) -> int:
-        return 0
+        # Stateless: captured cell states are None, so this stays 0
+        # even while cells are warm.
+        return self.warm_bytes()

@@ -16,7 +16,8 @@ import math
 from typing import Dict, List, Optional, Tuple
 
 from repro.constants import SIZE_INTEGER, SIZE_POINTER
-from repro.core.schemes.base import StorageBreakdown, StorageScheme
+from repro.core.schemes.base import (DEFAULT_WARM_CAPACITY,
+                                     StorageBreakdown, StorageScheme)
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
@@ -29,9 +30,10 @@ class IndexedVerticalScheme(StorageScheme):
 
     name = "indexed-vertical"
 
-    def __init__(self, vpage_file: PagedFile,
-                 index_file: PagedFile) -> None:
-        super().__init__(vpage_file, index_file)
+    def __init__(self, vpage_file: PagedFile, index_file: PagedFile,
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        super().__init__(vpage_file, index_file,
+                         warm_capacity=warm_capacity)
         self.num_nodes = 0
         self.num_cells = 0
         #: cell id -> (first index page, page count, pair count).
@@ -96,6 +98,11 @@ class IndexedVerticalScheme(StorageScheme):
         assert isinstance(state, dict)
         self._current_pairs = dict(state)
 
+    def _cell_state_bytes(self, state: Optional[object]) -> int:
+        assert state is None or isinstance(state, dict)
+        return ((SIZE_POINTER + SIZE_INTEGER) * len(state)
+                if state is not None else 0)
+
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
         self._require_cell()
         if not 0 <= node_offset < self.num_nodes:
@@ -121,7 +128,8 @@ class IndexedVerticalScheme(StorageScheme):
         )
 
     def resident_bytes(self) -> int:
-        return (SIZE_POINTER + SIZE_INTEGER) * len(self._current_pairs)
+        return ((SIZE_POINTER + SIZE_INTEGER) * len(self._current_pairs)
+                + self.warm_bytes())
 
     @property
     def avg_visible_nodes(self) -> float:

@@ -23,7 +23,8 @@ import math
 from typing import Dict, List, Optional
 
 from repro.constants import SIZE_POINTER
-from repro.core.schemes.base import StorageBreakdown, StorageScheme
+from repro.core.schemes.base import (DEFAULT_WARM_CAPACITY,
+                                     StorageBreakdown, StorageScheme)
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
@@ -36,9 +37,10 @@ class VerticalScheme(StorageScheme):
 
     name = "vertical"
 
-    def __init__(self, vpage_file: PagedFile,
-                 index_file: PagedFile) -> None:
-        super().__init__(vpage_file, index_file)
+    def __init__(self, vpage_file: PagedFile, index_file: PagedFile,
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        super().__init__(vpage_file, index_file,
+                         warm_capacity=warm_capacity)
         self.num_nodes = 0
         self.num_cells = 0
         self._segment_pages = 0
@@ -112,6 +114,10 @@ class VerticalScheme(StorageScheme):
         assert isinstance(state, list)
         self._current_segment = list(state)
 
+    def _cell_state_bytes(self, state: Optional[object]) -> int:
+        assert state is None or isinstance(state, list)
+        return SIZE_POINTER * len(state) if state is not None else 0
+
     def ventries(self, node_offset: int) -> Optional[List[VEntry]]:
         self._require_cell()
         if not 0 <= node_offset < self.num_nodes:
@@ -138,4 +144,4 @@ class VerticalScheme(StorageScheme):
         )
 
     def resident_bytes(self) -> int:
-        return SIZE_POINTER * self.num_nodes
+        return SIZE_POINTER * self.num_nodes + self.warm_bytes()

@@ -1,14 +1,18 @@
-"""Concurrent multi-session walkthrough serving (PR 5).
+"""Concurrent multi-session walkthrough serving (PRs 5-6).
 
 The ROADMAP north star is a production-scale service answering many
 viewers' walkthroughs against one HDoV-tree.  This package provides the
-first rung: N recorded sessions served through one shared, thread-safe
+first rungs: N recorded sessions served through one shared, thread-safe
 :class:`~repro.storage.buffer.BufferPool`, scheduled in deterministic
-rounds with frame-budget admission control, and reported as a JSON
-document that is a pure function of the configuration (so CI can diff
-two runs byte-for-byte).
+rounds with frame-budget admission control (PR 5), plus a network edge
+(:mod:`repro.serving.http`) exposing session create/step/close over
+HTTP and a Poisson traffic harness (:mod:`repro.serving.loadgen`)
+driving it at configurable offered load (PR 6).  Both runners report
+JSON whose machine-independent sections are pure functions of the
+configuration, so CI can diff two runs byte-for-byte.
 """
 
+from repro.serving.loadgen import run_traffic
 from repro.serving.pooled import PooledNodeStore
 from repro.serving.scheduler import SessionScheduler
 from repro.serving.service import run_serve
@@ -19,4 +23,5 @@ __all__ = [
     "ServingSession",
     "SessionScheduler",
     "run_serve",
+    "run_traffic",
 ]

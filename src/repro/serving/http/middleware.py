@@ -1,0 +1,67 @@
+"""Request tracing + latency middleware — the package's timing boundary.
+
+This is the *only* module under ``repro.serving.http`` that may read a
+clock (lint rule RPR009, the front-end twin of RPR004's monotonic-clock
+discipline): every handler's wall-clock duration is measured here, once,
+and handed to the stats collector and the metrics registry.  Handlers
+and the stats collector stay clock-free, so the machine-independent
+parts of a traffic report cannot accidentally absorb a timing value.
+
+Each request is also assigned a monotonically increasing request id,
+echoed back in the ``x-request-id`` response header and attached to the
+span recorded for the request, so a latency outlier in the report can be
+traced to one concrete request.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Awaitable, Callable, Tuple
+
+from repro.errors import ReproError
+from repro.obs import names
+from repro.obs.metrics import get_registry
+from repro.obs.trace import span
+from repro.serving.http.app import HttpRequest, HttpResponse
+from repro.serving.http.stats import StatsCollector
+
+#: A router: maps a request to (route label, response).  The label is a
+#: template like ``POST /sessions/{id}/step`` so per-route series stay
+#: low-cardinality.
+Router = Callable[[HttpRequest], Awaitable[Tuple[str, HttpResponse]]]
+
+
+class TimingMiddleware:
+    """Wraps a router with tracing, latency capture and HTTP metrics."""
+
+    def __init__(self, router: Router, collector: StatsCollector) -> None:
+        self._router = router
+        self.collector = collector
+        self._next_request_id = 0
+
+    async def __call__(self, request: HttpRequest) -> HttpResponse:
+        self._next_request_id += 1
+        request_id = self._next_request_id
+        started = perf_counter()
+        with span("http.request", method=request.method,
+                  path=request.path, request_id=request_id):
+            try:
+                route, response = await self._router(request)
+            except ReproError as exc:
+                # Routers map expected failures themselves; anything
+                # that still escapes is a server error, reported as
+                # such rather than tearing the connection down.
+                route = f"{request.method} {request.path}"
+                response = HttpResponse(500, {
+                    "error": f"{type(exc).__name__}: {exc}"})
+        elapsed_ms = (perf_counter() - started) * 1000.0
+        self.collector.record(route, response.status, elapsed_ms)
+        registry = get_registry()
+        registry.counter(names.HTTP_REQUESTS, route=route,
+                         status=str(response.status)).inc()
+        if response.status >= 500:
+            registry.counter(names.HTTP_ERRORS, route=route).inc()
+        registry.histogram(names.HTTP_LATENCY_MS,
+                           route=route).observe(elapsed_ms)
+        response.headers.setdefault("x-request-id", str(request_id))
+        return response

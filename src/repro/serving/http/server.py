@@ -1,0 +1,160 @@
+"""A stdlib ``asyncio`` HTTP/1.1 server binding the app to a socket.
+
+Deliberately minimal — just enough HTTP to serve the walkthrough app to
+``curl`` and the socket-path tests: request line, headers,
+``Content-Length``-framed JSON bodies, one response per connection
+(``Connection: close``).  No chunked encoding, no keep-alive, no TLS;
+the load generator talks to the app in-process precisely so none of
+that is on the measured path.
+
+A malformed request gets a 400 and the connection is closed; nothing a
+client sends can raise out of the reader loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional, Tuple
+
+from repro.serving.http.app import HttpRequest, HttpResponse, WalkthroughApp
+
+#: Cap on header-section and body size: this is a measurement harness,
+#: not an internet-facing proxy, and a bound keeps a bad client from
+#: ballooning the reader.
+MAX_HEADER_BYTES = 16 * 1024
+MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpServer:
+    """Serves one :class:`WalkthroughApp` on a local TCP port."""
+
+    def __init__(self, app: WalkthroughApp, *, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.app = app
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and start serving; returns the (host, port) bound.
+
+        ``port=0`` asks the kernel for a free port — the tests' default,
+        so parallel runs never collide.
+        """
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        sockets = self._server.sockets or []
+        assert sockets, "server started with no listening socket"
+        self.host, self.port = sockets[0].getsockname()[:2]
+        return self.host, self.port
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            request, parse_error = await _read_request(reader)
+            if request is None:
+                response = HttpResponse(
+                    400, {"error": parse_error or "malformed request"})
+            else:
+                response = await self.app.dispatch(request)
+            await _write_response(writer, response)
+        # A vanished client leaves nobody to answer; dropping the
+        # exchange is the handling.
+        except (ConnectionError,  # repro: ignore[RPR008]
+                asyncio.IncompleteReadError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            # Reset during close teardown: the socket is already gone,
+            # which is the goal.
+            except ConnectionError:  # repro: ignore[RPR008]
+                pass
+
+
+async def _read_request(reader: asyncio.StreamReader) \
+        -> Tuple[Optional[HttpRequest], Optional[str]]:
+    """Parse one request; returns (request, None) or (None, why)."""
+    try:
+        raw_head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        return None, "header section too large"
+    except asyncio.IncompleteReadError:
+        return None, "connection closed before headers completed"
+    if len(raw_head) > MAX_HEADER_BYTES:
+        return None, "header section too large"
+    head = raw_head.decode("latin-1")
+    lines = head.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        return None, f"malformed request line: {lines[0]!r}"
+    method, target, _version = parts
+    headers = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return None, f"malformed header line: {line!r}"
+        headers[name.strip().lower()] = value.strip()
+    body = None
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        return None, f"bad content-length: {length_text!r}"
+    if length < 0 or length > MAX_BODY_BYTES:
+        return None, f"bad content-length: {length}"
+    if length:
+        try:
+            payload = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            return None, "connection closed before body completed"
+        try:
+            body = json.loads(payload.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return None, f"body is not valid JSON: {exc}"
+        if not isinstance(body, dict):
+            return None, "body must be a JSON object"
+    # Only the path component routes; a query string would silently
+    # miss every route, so strip it off explicitly.
+    path = target.split("?", 1)[0]
+    return HttpRequest(method, path, body=body, headers=headers), None
+
+
+async def _write_response(writer: asyncio.StreamWriter,
+                          response: HttpResponse) -> None:
+    payload = json.dumps(response.body, sort_keys=True).encode("utf-8")
+    reason = _REASONS.get(response.status, "Unknown")
+    head_lines = [f"HTTP/1.1 {response.status} {reason}",
+                  "content-type: application/json",
+                  f"content-length: {len(payload)}",
+                  "connection: close"]
+    head_lines.extend(f"{name}: {value}"
+                      for name, value in sorted(response.headers.items()))
+    head = "\r\n".join(head_lines) + "\r\n\r\n"
+    writer.write(head.encode("latin-1") + payload)
+    await writer.drain()

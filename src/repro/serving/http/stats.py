@@ -1,0 +1,108 @@
+"""Request/latency statistics for the HTTP front-end.
+
+The collector is deliberately clock-free (lint rule RPR009): the timing
+middleware measures and hands finished durations in; this module only
+aggregates.  That split keeps the machine-independent surface —
+request/error/status counts — cleanly separated from the wall-clock
+surface (latency percentiles), which the traffic report publishes but
+never gates on.
+
+Percentiles are exact nearest-rank over the recorded samples, not a
+streaming sketch: traffic runs record at most a few hundred thousand
+samples, and exactness makes same-seed runs byte-identical wherever the
+underlying samples are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+#: The percentiles every latency summary reports.
+SUMMARY_PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Exact nearest-rank percentile (``q`` in [0, 100]); 0.0 on empty.
+
+    Nearest-rank always returns an element of ``samples``, so the result
+    is deterministic with no interpolation-rounding surprises.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(int(math.ceil(q / 100.0 * len(ordered))), 1)
+    return ordered[rank - 1]
+
+
+def latency_summary(samples: Sequence[float]) -> Dict[str, float]:
+    """p50/p95/p99 + mean/max of a sample list (zeros when empty)."""
+    out = {f"p{int(q)}": percentile(samples, q)
+           for q in SUMMARY_PERCENTILES}
+    out["mean"] = sum(samples) / len(samples) if samples else 0.0
+    out["max"] = max(samples) if samples else 0.0
+    return out
+
+
+@dataclass
+class RouteStats:
+    """Everything recorded about one route."""
+
+    requests: int = 0
+    errors: int = 0
+    #: status code -> count (machine-independent).
+    by_status: Dict[int, int] = field(default_factory=dict)
+    #: wall-clock durations, middleware-measured (machine-dependent).
+    wall_ms: List[float] = field(default_factory=list)
+
+
+class StatsCollector:
+    """Per-route request accounting fed by the timing middleware."""
+
+    def __init__(self) -> None:
+        self._routes: Dict[str, RouteStats] = {}
+
+    def record(self, route: str, status: int, wall_ms: float) -> None:
+        stats = self._routes.setdefault(route, RouteStats())
+        stats.requests += 1
+        if status >= 500:
+            stats.errors += 1
+        stats.by_status[status] = stats.by_status.get(status, 0) + 1
+        stats.wall_ms.append(wall_ms)
+
+    @property
+    def total_requests(self) -> int:
+        return sum(s.requests for s in self._routes.values())
+
+    def request_counts(self) -> Dict[str, Dict[str, object]]:
+        """Machine-independent view: counts per route, sorted keys."""
+        out: Dict[str, Dict[str, object]] = {}
+        for route in sorted(self._routes):
+            stats = self._routes[route]
+            out[route] = {
+                "requests": stats.requests,
+                "errors": stats.errors,
+                "by_status": {str(code): count for code, count
+                              in sorted(stats.by_status.items())},
+            }
+        return out
+
+    def status_counts(self) -> Dict[str, int]:
+        """Aggregate status -> count over every route."""
+        totals: Dict[int, int] = {}
+        for stats in self._routes.values():
+            for code, count in stats.by_status.items():
+                totals[code] = totals.get(code, 0) + count
+        return {str(code): count for code, count in sorted(totals.items())}
+
+    def wall_latency(self) -> Dict[str, Dict[str, float]]:
+        """Wall-clock latency summaries per route — report, never gate."""
+        return {route: latency_summary(self._routes[route].wall_ms)
+                for route in sorted(self._routes)}
+
+    def __repr__(self) -> str:
+        return (f"StatsCollector(routes={len(self._routes)}, "
+                f"requests={self.total_requests})")

@@ -105,6 +105,10 @@ class SessionScheduler:
         finally:
             if executor is not None:
                 executor.shutdown(wait=True)
+            # The loop exits (or aborts) with no session being served;
+            # without this, post-run scrapes and the `repro serve`
+            # report would show the last round's count as still active.
+            m_active.set(0)
 
     def __repr__(self) -> str:
         return (f"SessionScheduler(sessions={len(self.sessions)}, "

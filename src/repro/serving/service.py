@@ -46,7 +46,7 @@ from repro.walkthrough.session import make_session
 _MS_RTOL = 1e-9
 
 
-def _session_env(env: HDoVEnvironment,
+def session_env(env: HDoVEnvironment,
                  pool: Optional[BufferPool]) -> HDoVEnvironment:
     """A per-session view: private flip state, shared storage.
 
@@ -150,7 +150,7 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
             path = make_session(pattern, scene.bounds(),
                                 num_frames=num_frames,
                                 street_pitch=experiment.city.pitch)
-            view = _session_env(env, pool)
+            view = session_env(env, pool)
             served.append(ServingSession(
                 session_id, path, view, eta=eta, scheme=scheme,
                 pool=pool,
@@ -201,7 +201,7 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
                 "rounds": scheduler.rounds,
                 "frames_served": scheduler.frames_served,
             },
-            "sessions": [_session_report(s, include_frame_times)
+            "sessions": [session_report(s, include_frame_times)
                          for s in served],
             "pool": _pool_report(pool),
             "reconciliation": _reconcile(env, served, pool),
@@ -216,7 +216,7 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
         return report
 
 
-def _session_report(session: ServingSession,
+def session_report(session: ServingSession,
                     include_frame_times: bool) -> Dict[str, object]:
     entry: Dict[str, object] = {
         "id": session.session_id,

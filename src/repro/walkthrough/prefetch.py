@@ -90,8 +90,11 @@ class CellPrefetcher:
         self._last_position = position.copy()
         if target is None:
             return None
-        self.scheme.prefetch_cell(target)
-        self.prefetches += 1
+        # Count only *effective* prefetches: the scheme no-ops when the
+        # target is already current or already warm, and the counter
+        # here must agree with the scheme_prefetches_total metric.
+        if self.scheme.prefetch_cell(target):
+            self.prefetches += 1
         return target
 
     @property

@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` rule suite (RPR001-RPR008).
+"""Tests for the ``repro lint`` rule suite (RPR001-RPR009).
 
 Every registered rule must have at least one *triggering* and one
 *non-triggering* fixture here — ``test_every_rule_has_fixtures`` fails
@@ -24,7 +24,7 @@ from repro.errors import AnalysisError
 REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
-             "RPR006", "RPR007", "RPR008"}
+             "RPR006", "RPR007", "RPR008", "RPR009"}
 
 
 def write_module(root: Path, relpath: str, source: str) -> Path:
@@ -205,6 +205,42 @@ FIXTURES = {
                 """),
         ],
     },
+    "RPR009": {
+        "bad": [("repro/serving/http/handlers.py", """
+            from time import perf_counter
+
+            def stamp_response(body):
+                body["answered_at"] = perf_counter()
+                return body
+            """)],
+        "good": [
+            # The middleware is the sanctioned timing boundary.
+            ("repro/serving/http/middleware.py", """
+                from time import perf_counter
+
+                def measure(op):
+                    started = perf_counter()
+                    result = op()
+                    return result, perf_counter() - started
+                """),
+            # Clock-free handlers in the package are the point.
+            ("repro/serving/http/handlers.py", """
+                def stamp_response(body, elapsed_ms):
+                    body["elapsed_ms"] = elapsed_ms
+                    return body
+                """),
+            # The same clock call *outside* the package is RPR004's
+            # business (perf_counter is fine there), not RPR009's.
+            ("repro/serving/loadgen.py", """
+                from time import perf_counter
+
+                def elapsed(op):
+                    started = perf_counter()
+                    op()
+                    return perf_counter() - started
+                """),
+        ],
+    },
 }
 
 
@@ -368,6 +404,26 @@ def test_rpr008_retry_module_is_exempt(tmp_path):
             return None
         """)])
     assert "RPR008" not in codes
+
+
+def test_rpr009_catches_aliased_module_clocks(tmp_path):
+    codes = lint_codes(tmp_path, [("repro/serving/http/stats.py", """
+        import time as clock
+
+        def now_ms():
+            return clock.monotonic() * 1000.0
+        """)])
+    assert "RPR009" in codes
+
+
+def test_rpr009_ignores_non_clock_time_attrs(tmp_path):
+    codes = lint_codes(tmp_path, [("repro/serving/http/server.py", """
+        import time
+
+        def backoff():
+            time.sleep(0.01)
+        """)])
+    assert "RPR009" not in codes
 
 
 # -- driver: RPR000, pragmas, baseline, CLI ---------------------------------

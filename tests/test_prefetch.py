@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
-from repro.errors import WalkthroughError
+from repro.errors import SchemeError, WalkthroughError
+from repro.obs import names
+from repro.obs.metrics import get_registry
 from repro.walkthrough.prefetch import CellPrefetcher
 
 
@@ -111,6 +113,92 @@ def test_prefetcher_end_to_end_smooths_crossing(env):
     scheme.flip_to_cell(target)
     warm_reads = env.light_stats.reads
     assert warm_reads <= cold_reads
+
+
+def test_prefetch_cell_reports_whether_it_did_work(env):
+    scheme = env.scheme("indexed-vertical")
+    scheme.drop_prefetches()
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    assert scheme.prefetch_cell(cells[0]) is False   # already current
+    assert scheme.prefetch_cell(cells[1]) is True    # real work
+    assert scheme.prefetch_cell(cells[1]) is False   # already warm
+    scheme.drop_prefetches()
+
+
+def test_observe_counts_only_effective_prefetches(env):
+    """Regression: ``CellPrefetcher.observe`` bumped ``prefetches`` even
+    when ``prefetch_cell`` no-opped (target already warm), so the
+    prefetcher's counter disagreed with scheme_prefetches_total."""
+    scheme = env.scheme("indexed-vertical")
+    scheme.drop_prefetches()
+    grid = env.grid
+    start = grid.cell_center(busiest_cells(env)[0])
+    step = np.array([grid.cell_size * 0.05, 0.0, 0.0])
+    prefetcher = CellPrefetcher(env, scheme, trigger_fraction=1.0)
+    metric_before = get_registry().value(names.SCHEME_PREFETCHES,
+                                         scheme=scheme.name)
+    # Creep toward the +x boundary: every observation after the first
+    # predicts the same neighbor, but only the first prefetch is work.
+    predictions = [prefetcher.observe(start + i * step) for i in range(5)]
+    issued = get_registry().value(names.SCHEME_PREFETCHES,
+                                  scheme=scheme.name) - metric_before
+    assert prefetcher.prefetches == issued
+    if any(p is not None for p in predictions):
+        assert issued >= 1
+        # The same warm target was predicted repeatedly, yet counted once.
+        targets = {p for p in predictions if p is not None}
+        assert prefetcher.prefetches == len(targets)
+    scheme.drop_prefetches()
+
+
+@pytest.mark.parametrize("scheme_name", ["vertical", "indexed-vertical"])
+def test_warm_buffer_is_capped(env, scheme_name):
+    """Regression: the warm buffer grew without bound — a warm entry for
+    a cell the viewer never flips to was kept forever."""
+    scheme = env.scheme(scheme_name)
+    scheme.drop_prefetches()
+    cells = busiest_cells(env, limit=4)
+    assert len(cells) >= 4
+    assert scheme.warm_capacity == 2
+    scheme.flip_to_cell(cells[0])
+    evicted_before = get_registry().value(names.SCHEME_WARM_EVICTIONS,
+                                          scheme=scheme_name)
+    assert scheme.prefetch_cell(cells[1]) is True
+    assert scheme.prefetch_cell(cells[2]) is True
+    assert scheme.prefetch_cell(cells[3]) is True
+    assert len(scheme._warm) == 2
+    assert cells[1] not in scheme._warm            # oldest went first
+    assert cells[2] in scheme._warm
+    assert cells[3] in scheme._warm
+    evicted = get_registry().value(names.SCHEME_WARM_EVICTIONS,
+                                   scheme=scheme_name) - evicted_before
+    assert evicted == 1
+    scheme.drop_prefetches()
+
+
+@pytest.mark.parametrize("scheme_name", ["vertical", "indexed-vertical"])
+def test_warm_entries_count_toward_resident_bytes(env, scheme_name):
+    """Regression: warm-entry bytes were invisible to the scheme's
+    resident-memory accounting."""
+    scheme = env.scheme(scheme_name)
+    scheme.drop_prefetches()
+    cells = busiest_cells(env)
+    scheme.flip_to_cell(cells[0])
+    base = scheme.resident_bytes()
+    assert scheme.warm_bytes() == 0
+    scheme.prefetch_cell(cells[1])
+    assert scheme.warm_bytes() > 0
+    assert scheme.resident_bytes() == base + scheme.warm_bytes()
+    scheme.drop_prefetches()
+    assert scheme.resident_bytes() == base
+
+
+def test_warm_capacity_validation(env):
+    scheme = env.scheme("indexed-vertical")
+    with pytest.raises(SchemeError):
+        type(scheme)(scheme.vpage_file, scheme.index_file,
+                     warm_capacity=0)
 
 
 def test_prefetcher_validation(env):

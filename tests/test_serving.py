@@ -177,3 +177,56 @@ def test_serve_cli_writes_deterministic_report(tmp_path, capsys):
 def test_serve_cli_usage_error(capsys):
     assert main(["serve", "--sessions", "0"]) == 2
     assert "repro serve" in capsys.readouterr().err
+
+
+class _StubSession:
+    """The minimal surface SessionScheduler drives, without an env."""
+
+    def __init__(self, session_id, frames):
+        self.session_id = session_id
+        self._remaining = frames
+        self.admission_wait_rounds = 0
+        self.last_frame_ms = 0.0
+
+    @property
+    def done(self):
+        return self._remaining <= 0
+
+    def step(self, *, shed_load=False):
+        self._remaining -= 1
+        return None
+
+    def install_fidelity(self, fidelity):
+        raise AssertionError("stub sessions never score")
+
+
+def test_scheduler_zeroes_active_gauge_after_run():
+    """Regression: ``SessionScheduler.run`` left the active-sessions
+    gauge at the last round's count, so post-run scrapes showed phantom
+    active sessions."""
+    from repro.obs import names
+    from repro.serving import SessionScheduler
+
+    with use_registry(MetricsRegistry()) as registry:
+        sessions = [_StubSession(i, frames=2 + i) for i in range(3)]
+        scheduler = SessionScheduler(sessions, workers=1)
+        scheduler.run()
+        assert scheduler.frames_served == sum(2 + i for i in range(3))
+        assert registry.value(names.SERVING_ACTIVE_SESSIONS) == 0.0
+
+
+def test_scheduler_zeroes_active_gauge_on_error():
+    from repro.errors import ReproError
+    from repro.obs import names
+    from repro.serving import SessionScheduler
+
+    class _ExplodingSession(_StubSession):
+        def step(self, *, shed_load=False):
+            raise ReproError("boom")
+
+    with use_registry(MetricsRegistry()) as registry:
+        scheduler = SessionScheduler([_ExplodingSession(0, frames=1)],
+                                     workers=1)
+        with pytest.raises(ReproError):
+            scheduler.run()
+        assert registry.value(names.SERVING_ACTIVE_SESSIONS) == 0.0
