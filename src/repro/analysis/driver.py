@@ -51,23 +51,30 @@ class LintResult:
 
 
 def iter_python_files(paths: Sequence[str]) -> List[str]:
-    """Expand files/directories into a sorted, de-duplicated file list."""
-    found: List[str] = []
+    """Expand files/directories into a sorted, de-duplicated file list.
+
+    De-duplication keys on ``os.path.realpath`` so the same file reached
+    more than once — through a symlinked directory, a repeated argument,
+    or an unnormalised spelling — is linted exactly once; the first-seen
+    spelling is what diagnostics display.  Sorting happens once, at the
+    end: sorting inside ``os.walk`` as well (as this function used to)
+    was redundant, and the old ``normpath`` key still admitted symlink
+    duplicates.
+    """
+    found: Dict[str, str] = {}
     for path in paths:
         if os.path.isfile(path):
-            found.append(path)
+            found.setdefault(os.path.realpath(path), path)
         elif os.path.isdir(path):
             for root, dirs, files in os.walk(path):
-                dirs[:] = sorted(d for d in dirs if d not in _SKIP_DIRS)
-                for name in sorted(files):
+                dirs[:] = [d for d in dirs if d not in _SKIP_DIRS]
+                for name in files:
                     if name.endswith(".py"):
-                        found.append(os.path.join(root, name))
+                        full = os.path.join(root, name)
+                        found.setdefault(os.path.realpath(full), full)
         else:
             raise FileNotFoundError(f"no such file or directory: {path}")
-    seen: Dict[str, None] = {}
-    for path in found:
-        seen.setdefault(os.path.normpath(path), None)
-    return sorted(seen)
+    return sorted(found.values())
 
 
 def module_name_for(path: str) -> Optional[str]:
@@ -115,6 +122,21 @@ def _parse(path: str) -> Tuple[Optional[ModuleContext],
     context = ModuleContext(path=display, module=module_name_for(path),
                             tree=tree, source=source)
     return context, None, pragmas
+
+
+def load_contexts(paths: Sequence[str]) -> List[ModuleContext]:
+    """Parse every Python file under ``paths`` into module contexts.
+
+    Unparsable files are skipped (``repro lint`` is where they fail the
+    build); this is the entry point for project-level consumers like
+    ``repro locks`` that want the parsed tree without running rules.
+    """
+    contexts: List[ModuleContext] = []
+    for path in iter_python_files(paths):
+        context, _error, _pragmas = _parse(path)
+        if context is not None:
+            contexts.append(context)
+    return contexts
 
 
 def lint_paths(paths: Sequence[str], *,

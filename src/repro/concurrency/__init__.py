@@ -1,0 +1,44 @@
+"""Concurrency invariants as code: the lock lattice and its witnesses.
+
+PR 5/6 built a genuinely concurrent serving stack — a thread-safe
+:class:`~repro.storage.buffer.BufferPool` with single-flight read
+latches, per-file I/O locks, a round scheduler — and documented its
+locking rules in docstrings.  This package makes those rules
+*executable*:
+
+* :mod:`repro.concurrency.order` declares the one lock lattice the
+  whole repo obeys (``serving.scheduler → bufferpool → pagedfile →
+  obs.registry``).  It is consumed by **both** enforcement sides, so
+  the static checker and the runtime witness can never drift apart.
+* :mod:`repro.concurrency.witness` provides
+  :class:`~repro.concurrency.witness.LockOrderWitness` — an opt-in
+  wrapper around the real locks that records per-thread acquisition
+  stacks, raises :class:`~repro.errors.LockOrderError` the moment a
+  thread acquires against the lattice, and reports the observed
+  acquisition graph as deterministic JSON.  When no witness is
+  installed the wrapping helper returns the raw lock object: the hot
+  path pays nothing.
+
+The static half lives in :mod:`repro.analysis.concurrency` (lint rules
+RPR010–RPR013); ``repro locks`` prints the statically inferred and the
+witnessed acquisition graphs side by side.
+"""
+
+from repro.concurrency.order import (BLOCKING_ALLOWED, LATTICE,
+                                     level_index, may_acquire)
+from repro.concurrency.witness import (LockOrderWitness, current_witness,
+                                       install, installed, uninstall,
+                                       wrap_lock)
+
+__all__ = [
+    "BLOCKING_ALLOWED",
+    "LATTICE",
+    "LockOrderWitness",
+    "current_witness",
+    "install",
+    "installed",
+    "level_index",
+    "may_acquire",
+    "uninstall",
+    "wrap_lock",
+]

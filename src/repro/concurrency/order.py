@@ -1,0 +1,60 @@
+"""The declared lock lattice — the single source of truth for lock order.
+
+Every lock in the repo that can be held while another lock is acquired
+carries a *level*, one of the names in :data:`LATTICE`.  The rule is
+strict descent: a thread holding a lock at level ``L`` may only acquire
+locks at levels strictly *after* ``L`` in the lattice.  Same-level
+acquisition across objects is a violation (two buffer pools must never
+nest), and re-entrant acquisition of the *same* lock object is always
+allowed (the pool and file locks are RLocks by design).
+
+This module is deliberately tiny and dependency-free: it is imported by
+the static checker (:mod:`repro.analysis.concurrency`, rule RPR010),
+the runtime witness (:mod:`repro.concurrency.witness`), and the lock
+owners themselves (``LOCK_LEVEL`` class attributes), so the three can
+never disagree about the order.
+"""
+
+from typing import Optional, Tuple
+
+# Outermost first.  A holder of LATTICE[i] may acquire LATTICE[j] only
+# when j > i.  "none" (hold nothing further) is implicit after the last
+# level.
+LATTICE: Tuple[str, ...] = (
+    "serving.scheduler",  # SessionScheduler bookkeeping state
+    "bufferpool",         # BufferPool frame-table lock
+    "pagedfile",          # PagedFile physical-I/O lock
+    "obs.registry",       # MetricsRegistry instrument-creation lock
+)
+
+# Levels whose locks exist precisely to serialize blocking work.  The
+# PagedFile I/O lock *is* the physical-I/O serialization point, so
+# reads/writes/fsync under it are the design, not a bug; RPR012 exempts
+# these levels.
+BLOCKING_ALLOWED = frozenset({"pagedfile"})
+
+
+def level_index(level: str) -> int:
+    """Position of *level* in the lattice; raises ValueError if unknown."""
+    try:
+        return LATTICE.index(level)
+    except ValueError:
+        raise ValueError(
+            f"unknown lock level {level!r}; declared lattice is {LATTICE!r}"
+        ) from None
+
+
+def is_level(level: str) -> bool:
+    """True when *level* is a declared lattice level."""
+    return level in LATTICE
+
+
+def may_acquire(held: Optional[str], wanted: str) -> bool:
+    """May a thread holding a *held*-level lock acquire a *wanted* one?
+
+    ``held is None`` means the thread holds nothing, which permits any
+    level.  Otherwise the lattice demands strict descent.
+    """
+    if held is None:
+        return True
+    return level_index(wanted) > level_index(held)

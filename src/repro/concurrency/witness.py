@@ -1,0 +1,278 @@
+"""Runtime lock-order witness: the dynamic twin of lint rule RPR010.
+
+:class:`LockOrderWitness` wraps the repo's real locks (pool, paged
+file, scheduler, metrics registry) and checks every acquisition against
+the declared lattice in :mod:`repro.concurrency.order` *before* the
+underlying lock is taken.  A violation therefore surfaces as a typed
+:class:`~repro.errors.LockOrderError` at the offending call site — a
+stack trace — rather than as the deadlock it would eventually become.
+
+Zero overhead when off: lock owners call :func:`wrap_lock` at
+construction time, and when no witness is installed the helper returns
+the raw lock object untouched — the hot path runs exactly the code it
+ran before this module existed.  Opt in either programmatically
+(:func:`install` / :func:`installed`) or by setting
+``REPRO_LOCK_WITNESS=1`` in the environment before the process starts
+(the CI concurrency-hammer job does the latter).
+
+The witness also aggregates what it saw — per-level acquisition counts
+and the cross-level acquisition graph — into a deterministic report
+keyed only by lattice levels (never thread identities), so two runs of
+the same single-threaded exercise produce byte-identical JSON.
+"""
+
+import os
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Protocol, Tuple
+
+from repro.concurrency.order import LATTICE, level_index, may_acquire
+from repro.errors import LockOrderError
+
+
+class AcquirableLock(Protocol):
+    """Structural stand-in for ``threading.Lock``/``RLock`` instances.
+
+    ``threading.Lock()`` returns an unnameable C type, so the witness
+    proxy duck-types against this minimal surface instead of a real
+    base class.
+    """
+
+    def acquire(self, blocking: bool = ..., timeout: float = ...) -> bool:
+        ...
+
+    def release(self) -> None:
+        ...
+
+    def __enter__(self) -> bool:
+        ...
+
+    def __exit__(self, *exc: object) -> Optional[bool]:
+        ...
+
+
+class LockOrderWitness:
+    """Records per-thread lock stacks and enforces the lattice.
+
+    The held-lock stack lives in thread-local storage; the aggregate
+    acquisition graph is shared and guarded by a plain internal lock
+    that never participates in the lattice (nothing is acquired while
+    it is held).
+    """
+
+    def __init__(self) -> None:
+        self._tls = threading.local()
+        self._graph_lock = threading.Lock()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._acquisitions: Dict[str, int] = {}
+        self._violations: List[str] = []
+
+    # -- per-thread stack ---------------------------------------------------
+
+    def _stack(self) -> List["_WitnessedLock"]:
+        stack = getattr(self._tls, "stack", None)
+        if stack is None:
+            stack = []
+            self._tls.stack = stack
+        return stack
+
+    def _precheck(self, lock: "_WitnessedLock") -> Tuple[bool, Optional[str]]:
+        """Validate an intended acquisition; returns (reentrant, held level).
+
+        Raises :class:`LockOrderError` — and records the violation —
+        when the lattice forbids the acquisition.  Called *before* the
+        underlying lock is touched, so a would-be deadlock fails fast.
+        """
+        stack = self._stack()
+        for held in stack:
+            if held is lock:
+                return True, None
+        held_level = stack[-1].level if stack else None
+        if not may_acquire(held_level, lock.level):
+            holder = stack[-1]
+            message = (
+                f"thread holding {holder.level!r} ({holder.name}) tried to "
+                f"acquire {lock.level!r} ({lock.name}); the lattice "
+                f"{' -> '.join(LATTICE)} permits only strictly lower levels"
+            )
+            with self._graph_lock:
+                self._violations.append(message)
+            self._count(lock.level, violation=True)
+            raise LockOrderError(message)
+        return False, held_level
+
+    def _record(self, lock: "_WitnessedLock", reentrant: bool,
+                held_level: Optional[str]) -> None:
+        """Account a successful acquisition (called with the lock held)."""
+        self._stack().append(lock)
+        with self._graph_lock:
+            self._acquisitions[lock.level] = (
+                self._acquisitions.get(lock.level, 0) + 1)
+            if not reentrant and held_level is not None:
+                key = (held_level, lock.level)
+                self._edges[key] = self._edges.get(key, 0) + 1
+        if not reentrant:
+            self._count(lock.level, violation=False)
+
+    def _forget(self, lock: "_WitnessedLock") -> None:
+        """Drop the most recent stack entry for *lock* on release."""
+        stack = self._stack()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is lock:
+                del stack[index]
+                return
+
+    def _count(self, level: str, *, violation: bool) -> None:
+        """Bump the obs counters, guarding against self-recursion.
+
+        The metrics registry's own lock may itself be witnessed; the
+        thread-local ``busy`` flag keeps that inner acquisition from
+        re-entering the metric bump.
+        """
+        if getattr(self._tls, "busy", False):
+            return
+        self._tls.busy = True
+        try:
+            from repro.obs import names
+            from repro.obs.metrics import get_registry
+            if violation:
+                get_registry().counter(
+                    names.LOCK_ORDER_VIOLATIONS, level=level).inc()
+            else:
+                get_registry().counter(
+                    names.LOCK_ACQUISITIONS, level=level).inc()
+        finally:
+            self._tls.busy = False
+
+    # -- reporting ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Clear the aggregate graph (per-thread stacks are untouched)."""
+        with self._graph_lock:
+            self._edges.clear()
+            self._acquisitions.clear()
+            self._violations.clear()
+
+    def edges(self) -> Dict[Tuple[str, str], int]:
+        """Snapshot of the witnessed acquisition graph, ``{(from, to): n}``."""
+        with self._graph_lock:
+            return dict(self._edges)
+
+    def violations(self) -> List[str]:
+        """Messages for every lattice violation seen so far."""
+        with self._graph_lock:
+            return list(self._violations)
+
+    def report(self) -> Dict[str, object]:
+        """Deterministic summary keyed by lattice level, never by thread."""
+        with self._graph_lock:
+            acquisitions = dict(self._acquisitions)
+            edges = dict(self._edges)
+            violations = list(self._violations)
+        return {
+            "lattice": list(LATTICE),
+            "acquisitions": {level: acquisitions[level]
+                             for level in sorted(acquisitions)},
+            "edges": [
+                {"from": source, "to": target, "count": edges[(source, target)]}
+                for source, target in sorted(edges)
+            ],
+            "violations": sorted(set(violations)),
+            "violations_total": len(violations),
+        }
+
+
+class _WitnessedLock:
+    """Proxy around a real lock that routes acquisitions via the witness."""
+
+    __slots__ = ("_lock", "_witness", "level", "name")
+
+    def __init__(self, lock: AcquirableLock, *, witness: LockOrderWitness,
+                 level: str, name: str) -> None:
+        self._lock = lock
+        self._witness = witness
+        self.level = level
+        self.name = name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        reentrant, held_level = self._witness._precheck(self)
+        acquired = self._lock.acquire(blocking, timeout)
+        if acquired:
+            self._witness._record(self, reentrant, held_level)
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()
+        self._witness._forget(self)
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return (f"<_WitnessedLock level={self.level!r} name={self.name!r} "
+                f"wrapping {self._lock!r}>")
+
+
+_active: Optional[LockOrderWitness] = None
+
+
+def current_witness() -> Optional[LockOrderWitness]:
+    """The installed witness, or None when witnessing is off."""
+    return _active
+
+
+def install(witness: LockOrderWitness) -> None:
+    """Make *witness* the process-wide witness for locks wrapped later.
+
+    Wrapping happens at lock construction, so installing affects only
+    locks created afterwards — install before building pools/files.
+    """
+    global _active
+    _active = witness
+
+
+def uninstall() -> None:
+    """Remove the installed witness; later wrap_lock calls are no-ops."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def installed(witness: LockOrderWitness) -> Iterator[LockOrderWitness]:
+    """Scoped :func:`install` that restores the previous witness on exit."""
+    previous = current_witness()
+    install(witness)
+    try:
+        yield witness
+    finally:
+        if previous is None:
+            uninstall()
+        else:
+            install(previous)
+
+
+def wrap_lock(lock: AcquirableLock, *, level: str,
+              name: str) -> AcquirableLock:
+    """Wrap *lock* for witnessing, or return it untouched when off.
+
+    *level* must be a declared lattice level (validated eagerly even
+    when no witness is installed, so typos fail in tests regardless of
+    the witness switch); *name* is a human label for error messages.
+    """
+    level_index(level)
+    witness = current_witness()
+    if witness is None:
+        return lock
+    return _WitnessedLock(lock, witness=witness, level=level, name=name)
+
+
+def _install_from_env() -> None:
+    """Honour ``REPRO_LOCK_WITNESS=1`` set before the process started."""
+    if os.environ.get("REPRO_LOCK_WITNESS", "").lower() in ("1", "true", "yes"):
+        install(LockOrderWitness())
+
+
+_install_from_env()

@@ -27,6 +27,7 @@ import threading
 from contextlib import contextmanager
 from typing import Any, Dict, Iterator, Optional, Tuple
 
+from repro.concurrency.witness import wrap_lock
 from repro.errors import ObservabilityError
 
 #: Canonical label form: sorted ``(key, value)`` pairs.
@@ -144,8 +145,19 @@ class MetricsRegistry:
     cache them once.
     """
 
+    #: Lattice level of ``_lock`` (see repro.concurrency.order): the
+    #: bottom — instrument creation may happen under any other lock, and
+    #: nothing is ever acquired while this lock is held.  The instrument
+    #: hot path (``.inc()``) is lockless and does not touch it.
+    LOCK_LEVEL = "obs.registry"
+
     def __init__(self) -> None:
-        self._lock = threading.Lock()
+        # RLock, not Lock: the lock-order witness counts acquisitions of
+        # this very lock by creating a counter *in this registry*, which
+        # re-enters ``_instrument`` on the same thread.
+        self._lock = wrap_lock(threading.RLock(),
+                               level=MetricsRegistry.LOCK_LEVEL,
+                               name="metrics-registry")
         self._metrics: Dict[Tuple[str, LabelKey], object] = {}
         self._kind_of: Dict[str, str] = {}
 

@@ -96,6 +96,11 @@ TRAFFIC_SESSIONS_SHED = "traffic_sessions_shed_total"
 TRAFFIC_FRAMES = "traffic_frames_total"
 TRAFFIC_REQUESTS = "traffic_requests_total"
 
+# -- repro.concurrency.witness: lock-order witness, one series per level ----
+
+LOCK_ACQUISITIONS = "lock_acquisitions_total"
+LOCK_ORDER_VIOLATIONS = "lock_order_violations_total"
+
 # -- repro.visibility.precompute: offline DoV pipeline ----------------------
 
 PRECOMPUTE_CELLS = "precompute_cells_total"

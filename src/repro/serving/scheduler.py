@@ -23,10 +23,12 @@ to the root-LoD degraded answer instead of queueing work unboundedly.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Deque, List, Optional, Sequence, Tuple
 
+from repro.concurrency.witness import wrap_lock
 from repro.errors import WalkthroughError
 from repro.obs import names
 from repro.obs.metrics import get_registry
@@ -34,7 +36,20 @@ from repro.serving.session import ServingSession
 
 
 class SessionScheduler:
-    """Drives N sessions to completion in deterministic rounds."""
+    """Drives N sessions to completion in deterministic rounds.
+
+    The scheduler's own bookkeeping (``rounds``, ``frames_served``,
+    admission churn) is guarded by ``_state_lock`` so observers — the
+    HTTP stats endpoint, a progress poller — can read a consistent
+    snapshot via :meth:`progress` while a round is in flight.  Session
+    stepping happens *outside* the lock: the state lock sits at the top
+    of the lock lattice and must never be held across pool or file work.
+    """
+
+    #: Lattice level of ``_state_lock`` (see repro.concurrency.order):
+    #: the outermost level — holding it, only pool/file/registry locks
+    #: may be acquired, never another scheduler's.
+    LOCK_LEVEL = "serving.scheduler"
 
     def __init__(self, sessions: Sequence[ServingSession], *,
                  workers: int = 1, max_active: Optional[int] = None,
@@ -52,6 +67,9 @@ class SessionScheduler:
         self.max_active = (max_active if max_active is not None
                            else max(len(self.sessions), 1))
         self.frame_budget_ms = frame_budget_ms
+        self._state_lock = wrap_lock(threading.Lock(),
+                                     level=SessionScheduler.LOCK_LEVEL,
+                                     name="scheduler")
         self.rounds = 0
         self.frames_served = 0
 
@@ -68,16 +86,21 @@ class SessionScheduler:
                     if self.workers > 1 else None)
         try:
             while waiting or active:
-                while waiting and len(active) < self.max_active:
-                    active.append(waiting.popleft())
-                for session in waiting:
-                    session.admission_wait_rounds += 1
-                    m_waits.inc()
-                m_active.set(len(active))
-                self.rounds += 1
-                m_rounds.inc()
+                with self._state_lock:
+                    while waiting and len(active) < self.max_active:
+                        active.append(waiting.popleft())
+                    for session in waiting:
+                        session.admission_wait_rounds += 1
+                        m_waits.inc()
+                    m_active.set(len(active))
+                    self.rounds += 1
+                    m_rounds.inc()
 
                 # Phase 1 — serialized query + accounting, id order.
+                # Stepping runs outside the state lock: session.step()
+                # reaches pool and file locks, and the lattice forbids
+                # holding the scheduler lock across blocking work.
+                served = 0
                 scoring: List[Tuple[ServingSession,
                                     Callable[[], float]]] = []
                 for session in active:
@@ -85,10 +108,12 @@ class SessionScheduler:
                             and session.last_frame_ms
                             > self.frame_budget_ms)
                     thunk = session.step(shed_load=shed)
-                    self.frames_served += 1
+                    served += 1
                     m_frames.inc()
                     if thunk is not None:
                         scoring.append((session, thunk))
+                with self._state_lock:
+                    self.frames_served += served
 
                 # Phase 2 — parallel fidelity scoring, then the round
                 # barrier installs every score in session order.
@@ -109,6 +134,14 @@ class SessionScheduler:
             # without this, post-run scrapes and the `repro serve`
             # report would show the last round's count as still active.
             m_active.set(0)
+
+    def progress(self) -> Tuple[int, int]:
+        """``(rounds, frames_served)`` as one consistent snapshot.
+
+        Safe to call from any thread while :meth:`run` is in flight.
+        """
+        with self._state_lock:
+            return (self.rounds, self.frames_served)
 
     def __repr__(self) -> str:
         return (f"SessionScheduler(sessions={len(self.sessions)}, "

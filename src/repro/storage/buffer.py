@@ -27,6 +27,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.concurrency.witness import wrap_lock
 from repro.errors import BufferPoolError, BufferPoolExhaustedError
 from repro.obs import names
 from repro.obs.metrics import get_registry
@@ -79,12 +80,19 @@ class BufferPool:
         pin churn) in the process metrics registry.
     """
 
+    #: Lattice level of ``_lock`` (see repro.concurrency.order): below
+    #: the scheduler's state lock, above the per-file I/O lock — the
+    #: pool may write back into a PagedFile, a file never calls a pool.
+    LOCK_LEVEL = "bufferpool"
+
     def __init__(self, capacity: int, *, name: str = "default") -> None:
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
-        self._lock = threading.RLock()
+        self._lock = wrap_lock(threading.RLock(),
+                               level=BufferPool.LOCK_LEVEL,
+                               name=f"bufferpool:{name}")
         self._frames: "OrderedDict[Tuple[int, int], _Frame]" = OrderedDict()
         self._files: Dict[int, PagedFile] = {}
         self._latches: Dict[Tuple[int, int], _Latch] = {}
@@ -121,7 +129,10 @@ class BufferPool:
             if frame.pin_count == 0:
                 if frame.dirty:
                     fid, page_id = key
-                    self._files[fid].write_page(page_id, frame.data)
+                    # Eviction write-back is the one sanctioned pool->file
+                    # call under the pool lock (DESIGN.md §10); miss reads
+                    # happen outside the lock via the single-flight latch.
+                    self._files[fid].write_page(page_id, frame.data)  # repro: ignore[RPR012]
                     self._m_writebacks.inc()
                 del self._frames[key]
                 self.evictions += 1
@@ -159,8 +170,10 @@ class BufferPool:
         one read: only the owner's ``reader`` runs, and every waiter
         counts a hit plus ``coalesced``.
         """
-        key = self._key(pfile, page_id)
         with self._lock:
+            # Under the lock: _key registers pfile in the _files map, and
+            # that map is otherwise only mutated lock-held (put/clear).
+            key = self._key(pfile, page_id)
             frame = self._frames.get(key)
             if frame is not None:
                 self.hits += 1
@@ -280,7 +293,10 @@ class BufferPool:
         with self._lock:
             for (fid, page_id), frame in self._frames.items():
                 if frame.dirty:
-                    self._files[fid].write_page(page_id, frame.data)
+                    # Flush write-back mirrors the eviction exception: same
+                    # pool->file lock order, and the frame table must not
+                    # change mid-flush, so the lock stays held.
+                    self._files[fid].write_page(page_id, frame.data)  # repro: ignore[RPR012]
                     self._m_writebacks.inc()
                     frame.dirty = False
 

@@ -19,6 +19,7 @@ import threading
 import zlib
 from typing import TYPE_CHECKING, Dict, Optional
 
+from repro.concurrency.witness import wrap_lock
 from repro.constants import PAGE_SIZE
 from repro.errors import PageCorruptError, PageNotFoundError, StorageError
 from repro.obs import names
@@ -70,6 +71,11 @@ class PagedFile:
     fault injector is installed, keeping the happy path allocation-free.
     """
 
+    #: Lattice level of ``_io_lock`` (see repro.concurrency.order): below
+    #: the pool lock, above the metrics-registry lock.  This level is in
+    #: BLOCKING_ALLOWED — serializing physical I/O is this lock's job.
+    LOCK_LEVEL = "pagedfile"
+
     def __init__(self, name: str, *, page_size: int = PAGE_SIZE,
                  disk: Optional[DiskModel] = None,
                  stats: Optional[IOStats] = None,
@@ -115,7 +121,9 @@ class PagedFile:
         #: back into a pool.  Sharing one IOStats between files accessed
         #: from different threads still needs external serialization — the
         #: serving scheduler provides it.
-        self._io_lock = threading.RLock()
+        self._io_lock = wrap_lock(threading.RLock(),
+                                  level=PagedFile.LOCK_LEVEL,
+                                  name=f"pagedfile:{name}")
         if path is not None:
             # "r+b" keeps seek+write semantics; append mode would force
             # every write to the end of the file regardless of seeks.
@@ -140,14 +148,15 @@ class PagedFile:
         ``close()``) is a no-op rather than an error — the common
         ``with``-block-plus-cleanup pattern must not raise.
         """
-        if self._closed:
-            return
-        if self._fh is not None:
-            self._fh.flush()
-            os.fsync(self._fh.fileno())
-            self._fh.close()
-            self._fh = None
-        self._closed = True
+        with self._io_lock:
+            if self._closed:
+                return
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                self._fh.close()
+                self._fh = None
+            self._closed = True
 
     def __enter__(self) -> "PagedFile":
         return self
@@ -172,7 +181,8 @@ class PagedFile:
         Prefer :meth:`FaultInjector.install`, which also tracks the file
         for a later bulk ``uninstall``.
         """
-        self._faults = injector
+        with self._io_lock:
+            self._faults = injector
 
     def charge_delay_ms(self, ms: float) -> None:
         """Charge extra simulated latency (fault spikes, retry backoff).
@@ -364,7 +374,10 @@ class PagedFile:
         Experiments call this between queries so each query pays a cold
         first seek, matching the paper's uncached measurement setup.
         """
-        self._last_accessed = None
+        # _last_accessed is _io_lock-guarded state (_charge mutates it on
+        # every access); resetting it unlocked raced concurrent reads.
+        with self._io_lock:
+            self._last_accessed = None
 
     def __repr__(self) -> str:
         kind = "file" if self._fh is not None else "mem"

@@ -1,0 +1,418 @@
+"""Tests for the runtime lock-order witness and its agreement with RPR010.
+
+The witness (`repro.concurrency.witness`) and the static checker
+(`repro.analysis.concurrency`) consume the same lattice declaration
+(`repro.concurrency.order`); the agreement suite at the bottom holds
+them to it — each synthetic program is linted *and* executed under a
+two-thread witness fixture, and the two verdicts must match.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+import textwrap
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint_paths
+from repro.concurrency import (BLOCKING_ALLOWED, LATTICE, LockOrderWitness,
+                               current_witness, install, installed,
+                               level_index, may_acquire, uninstall,
+                               wrap_lock)
+from repro.errors import LockOrderError, ReproError
+from repro.obs import names
+from repro.obs.metrics import use_registry
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+
+# -- the lattice declaration -------------------------------------------------
+
+
+def test_lattice_shape():
+    assert LATTICE == ("serving.scheduler", "bufferpool", "pagedfile",
+                       "obs.registry")
+    assert BLOCKING_ALLOWED <= set(LATTICE)
+    assert [level_index(level) for level in LATTICE] == [0, 1, 2, 3]
+    with pytest.raises(ValueError):
+        level_index("not-a-level")
+
+
+def test_may_acquire_is_strict_descent():
+    for held in LATTICE:
+        for wanted in LATTICE:
+            expected = level_index(wanted) > level_index(held)
+            assert may_acquire(held, wanted) == expected
+    for wanted in LATTICE:
+        assert may_acquire(None, wanted)
+
+
+# -- wrap_lock / install plumbing --------------------------------------------
+
+
+def test_wrap_lock_returns_raw_lock_when_off():
+    assert current_witness() is None
+    lock = threading.Lock()
+    assert wrap_lock(lock, level="bufferpool", name="raw") is lock
+
+
+def test_wrap_lock_validates_level_even_when_off():
+    with pytest.raises(ValueError):
+        wrap_lock(threading.Lock(), level="buferpool", name="typo")
+
+
+def test_installed_scopes_and_restores():
+    outer = LockOrderWitness()
+    inner = LockOrderWitness()
+    install(outer)
+    try:
+        with installed(inner) as witness:
+            assert witness is inner
+            assert current_witness() is inner
+        assert current_witness() is outer
+    finally:
+        uninstall()
+    assert current_witness() is None
+
+
+def test_env_var_installs_witness():
+    probe = ("from repro.concurrency.witness import current_witness; "
+             "import sys; sys.exit(0 if current_witness() is not None "
+             "else 1)")
+    for value, expected in (("1", 0), ("true", 0), ("", 1)):
+        proc = subprocess.run(
+            [sys.executable, "-c", probe],
+            env={"PYTHONPATH": str(REPO_SRC),
+                 "REPRO_LOCK_WITNESS": value},
+            capture_output=True)
+        assert proc.returncode == expected, proc.stderr.decode()
+
+
+# -- enforcement -------------------------------------------------------------
+
+
+def test_in_order_acquisition_records_edges():
+    with installed(LockOrderWitness()) as witness:
+        upper = wrap_lock(threading.Lock(), level="bufferpool", name="u")
+        lower = wrap_lock(threading.Lock(), level="pagedfile", name="l")
+        with upper:
+            with lower:
+                pass
+    assert witness.edges() == {("bufferpool", "pagedfile"): 1}
+    assert witness.violations() == []
+
+
+def test_out_of_order_raises_before_acquiring():
+    with installed(LockOrderWitness()) as witness:
+        raw = threading.Lock()
+        upper = wrap_lock(raw, level="bufferpool", name="u")
+        lower = wrap_lock(threading.Lock(), level="pagedfile", name="l")
+        with lower:
+            with pytest.raises(LockOrderError):
+                upper.acquire()
+        # Fail-fast means the underlying lock was never taken.
+        assert raw.acquire(blocking=False)
+        raw.release()
+    assert len(witness.violations()) == 1
+    assert witness.report()["violations_total"] == 1
+
+
+def test_lock_order_error_is_a_repro_error():
+    assert issubclass(LockOrderError, ReproError)
+
+
+def test_same_level_distinct_locks_rejected():
+    with installed(LockOrderWitness()):
+        first = wrap_lock(threading.Lock(), level="bufferpool", name="a")
+        second = wrap_lock(threading.Lock(), level="bufferpool", name="b")
+        with first:
+            with pytest.raises(LockOrderError):
+                second.acquire()
+
+
+def test_reentrant_acquisition_allowed():
+    with installed(LockOrderWitness()) as witness:
+        lock = wrap_lock(threading.RLock(), level="bufferpool", name="r")
+        with lock:
+            with lock:
+                pass
+    assert witness.edges() == {}
+    assert witness.report()["acquisitions"] == {"bufferpool": 2}
+
+
+def test_release_is_per_thread_lifo_tolerant():
+    # Releasing in non-stack order must not corrupt the held stack.
+    with installed(LockOrderWitness()) as witness:
+        upper = wrap_lock(threading.Lock(), level="bufferpool", name="u")
+        lower = wrap_lock(threading.Lock(), level="pagedfile", name="l")
+        upper.acquire()
+        lower.acquire()
+        upper.release()
+        lower.release()
+        with upper:
+            pass
+    assert witness.violations() == []
+
+
+def test_report_is_deterministic():
+    def exercise() -> str:
+        with installed(LockOrderWitness()) as witness:
+            upper = wrap_lock(threading.Lock(), level="bufferpool",
+                              name="u")
+            lower = wrap_lock(threading.Lock(), level="pagedfile",
+                              name="l")
+            for _ in range(3):
+                with upper:
+                    with lower:
+                        pass
+        return json.dumps(witness.report(), sort_keys=True)
+
+    assert exercise() == exercise()
+
+
+def test_acquisitions_feed_metrics():
+    with use_registry() as registry:
+        with installed(LockOrderWitness()):
+            lock = wrap_lock(threading.Lock(), level="bufferpool",
+                             name="metered")
+            with lock:
+                pass
+            other = wrap_lock(threading.Lock(), level="bufferpool",
+                              name="peer")
+            with other:
+                with pytest.raises(LockOrderError):
+                    lock.acquire()
+        assert registry.value(names.LOCK_ACQUISITIONS,
+                              level="bufferpool") == 2.0
+        assert registry.value(names.LOCK_ORDER_VIOLATIONS,
+                              level="bufferpool") == 1.0
+
+
+def test_witnessed_buffer_pool_end_to_end():
+    # The real storage stack, wrapped: pool churn must witness only the
+    # sanctioned downward edges and zero violations.
+    with installed(LockOrderWitness()) as witness, use_registry():
+        from repro.storage import pageio
+        from repro.storage.buffer import BufferPool
+        from repro.storage.pagedfile import PagedFile
+
+        pfile = PagedFile("witnessed", page_size=64)
+        pool = BufferPool(2, name="witnessed")
+        for _ in range(4):
+            pageio.append_page(pfile, b"", component="test")
+        for page in range(4):
+            pool.put(pfile, page, b"x")
+        for page in range(4):
+            pool.get(pfile, page)
+        pool.flush()
+    for source, target in witness.edges():
+        assert level_index(source) < level_index(target)
+    assert witness.violations() == []
+
+
+# -- static/dynamic agreement ------------------------------------------------
+#
+# Each program declares leveled lock classes the same way the real tree
+# does (LOCK_LEVEL + wrap_lock at construction).  The static verdict is
+# whether `repro lint` raises RPR010 on the source; the dynamic verdict
+# is whether a two-thread witness fixture raises LockOrderError.  The
+# two must agree — that is the whole point of sharing the lattice.
+
+GOOD_PROGRAM = """
+    import threading
+
+    from repro.concurrency.witness import wrap_lock
+
+
+    class Lower:
+        LOCK_LEVEL = "bufferpool"
+
+        def __init__(self):
+            self._lock = wrap_lock(threading.RLock(),
+                                   level=Lower.LOCK_LEVEL, name="lower")
+
+        def poke(self):
+            with self._lock:
+                pass
+
+
+    class Upper:
+        LOCK_LEVEL = "serving.scheduler"
+
+        def __init__(self, lower):
+            self._lock = wrap_lock(threading.RLock(),
+                                   level=Upper.LOCK_LEVEL, name="upper")
+            self._lower: "Lower" = lower
+
+        def drive(self):
+            with self._lock:
+                self._lower.poke()
+    """
+
+CYCLIC_PROGRAM = GOOD_PROGRAM + """
+
+    class Climber:
+        LOCK_LEVEL = "bufferpool"
+
+        def __init__(self):
+            self._lock = wrap_lock(threading.RLock(),
+                                   level=Climber.LOCK_LEVEL,
+                                   name="climber")
+            self._upper: "Upper" = None
+
+        def attach(self, upper):
+            self._upper = upper
+
+        def climb(self):
+            with self._lock:
+                self._upper.drive()
+    """
+
+SAME_LEVEL_PROGRAM = """
+    import threading
+
+    from repro.concurrency.witness import wrap_lock
+
+
+    class RightPool:
+        LOCK_LEVEL = "bufferpool"
+
+        def __init__(self):
+            self._lock = wrap_lock(threading.RLock(),
+                                   level=RightPool.LOCK_LEVEL,
+                                   name="right")
+
+        def poke(self):
+            with self._lock:
+                pass
+
+
+    class LeftPool:
+        LOCK_LEVEL = "bufferpool"
+
+        def __init__(self, peer):
+            self._lock = wrap_lock(threading.RLock(),
+                                   level=LeftPool.LOCK_LEVEL,
+                                   name="left")
+            self._peer: "RightPool" = peer
+
+        def steal(self):
+            with self._lock:
+                self._peer.poke()
+    """
+
+
+def _static_flags_rpr010(tmp_path, source: str) -> bool:
+    path = tmp_path / "program.py"
+    path.write_text(textwrap.dedent(source))
+    result = lint_paths([str(tmp_path)])
+    return "RPR010" in {d.code for d in result.diagnostics}
+
+
+def _run_two_threads(*thunks) -> list:
+    """Run the thunks concurrently; returns LockOrderErrors they raised."""
+    barrier = threading.Barrier(len(thunks))
+    errors = []
+    errors_lock = threading.Lock()
+
+    def runner(thunk):
+        barrier.wait()
+        for _ in range(20):
+            try:
+                thunk()
+            except LockOrderError as exc:
+                with errors_lock:
+                    errors.append(exc)
+                return
+
+    threads = [threading.Thread(target=runner, args=(t,)) for t in thunks]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return errors
+
+
+def _exec_program(source: str) -> dict:
+    namespace: dict = {}
+    exec(compile(textwrap.dedent(source), "<agreement>", "exec"),
+         namespace)
+    return namespace
+
+
+def _dynamic_raises(source: str, build_and_drive) -> bool:
+    with installed(LockOrderWitness()), use_registry():
+        namespace = _exec_program(source)
+        thunks = build_and_drive(namespace)
+        errors = _run_two_threads(*thunks)
+    return bool(errors)
+
+
+def _drive_good(ns):
+    upper = ns["Upper"](ns["Lower"]())
+    return (upper.drive, upper.drive)
+
+
+def _drive_cyclic(ns):
+    lower = ns["Lower"]()
+    upper = ns["Upper"](lower)
+    climber = ns["Climber"]()
+    climber.attach(upper)
+    return (upper.drive, climber.climb)
+
+
+def _drive_same_level(ns):
+    right = ns["RightPool"]()
+    left = ns["LeftPool"](right)
+    return (left.steal, right.poke)
+
+
+def test_cli_locks_exit_codes_and_determinism(tmp_path, capsys):
+    from repro.cli import main as cli_main
+
+    good = tmp_path / "good"
+    good.mkdir()
+    (good / "program.py").write_text(textwrap.dedent(GOOD_PROGRAM))
+    bad = tmp_path / "bad"
+    bad.mkdir()
+    (bad / "program.py").write_text(textwrap.dedent(SAME_LEVEL_PROGRAM))
+
+    assert cli_main(["locks", str(good)]) == 0
+    first = capsys.readouterr().out
+    assert cli_main(["locks", str(good)]) == 0
+    assert capsys.readouterr().out == first, "repro locks is not stable"
+    payload = json.loads(first)
+    assert payload["static"]["violations"] == []
+    assert payload["witnessed"]["violations"] == []
+    assert payload["witnessed"]["edges"], "demo exercise witnessed nothing"
+
+    assert cli_main(["locks", str(bad)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["static"]["violations"]
+
+    assert cli_main(["locks", str(tmp_path / "missing")]) == 2
+    capsys.readouterr()
+
+
+AGREEMENT_CASES = [
+    ("good", GOOD_PROGRAM, _drive_good, False),
+    ("cyclic", CYCLIC_PROGRAM, _drive_cyclic, True),
+    ("same-level", SAME_LEVEL_PROGRAM, _drive_same_level, True),
+]
+
+
+@pytest.mark.parametrize("name,source,driver,expected",
+                         AGREEMENT_CASES,
+                         ids=[case[0] for case in AGREEMENT_CASES])
+def test_static_and_dynamic_agree(name, source, driver, expected,
+                                  tmp_path):
+    static = _static_flags_rpr010(tmp_path, source)
+    dynamic = _dynamic_raises(source, driver)
+    assert static == dynamic, (
+        f"{name}: static checker says {static}, witness says {dynamic} "
+        f"— the two halves have drifted apart")
+    assert static == expected
