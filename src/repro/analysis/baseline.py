@@ -21,6 +21,7 @@ from typing import Dict, List, Tuple
 
 from repro.analysis.diagnostics import Diagnostic
 from repro.errors import AnalysisError
+from repro.storage.atomic import atomic_write_text
 
 _VERSION = 1
 
@@ -32,9 +33,10 @@ def save_baseline(path: str, diagnostics: List[Diagnostic]) -> None:
         "version": _VERSION,
         "entries": {key: count for key, count in sorted(entries.items())},
     }
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(payload, fh, indent=2, sort_keys=False)
-        fh.write("\n")
+    # Atomic: CI diffs this file against the committed copy, and a torn
+    # rewrite would read as spurious baseline drift.
+    atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=False) + "\n")
 
 
 def load_baseline(path: str) -> Dict[str, int]:

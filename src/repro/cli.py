@@ -8,6 +8,7 @@ Usage::
     python -m repro run all --scale small
     python -m repro profile [--scale small] [--session 1] [--eta 0.001]
     python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
+    python -m repro crash [--seed 0] [--txns 5] [--output FILE]
     python -m repro precompute [--workers 4] [--cache-dir DIR] [--resume]
     python -m repro serve [--sessions 8] [--workers 4] [--seed 7]
     python -m repro traffic [--sessions 200] [--seed 0] [--arrival-rate 50]
@@ -18,7 +19,11 @@ one instrumented walkthrough and emits a JSON report of where the
 simulated milliseconds and page I/Os go (see README, "Profiling");
 ``chaos`` replays a session under a named fault plan and reports frames
 survived, degradations, retries, and the fidelity delta (see README,
-"Chaos testing"); ``precompute`` runs the batched/parallel per-cell DoV
+"Chaos testing"); ``crash`` sweeps a deterministic crash-point matrix
+over every I/O boundary of a journaled write workload — including the
+boundaries inside recovery itself — and fails if any recovered state
+breaks atomicity or recovery is not idempotent (see README, "Crash
+recovery"); ``precompute`` runs the batched/parallel per-cell DoV
 pipeline with an optional resumable cache and emits a JSON summary whose
 ``digest`` field fingerprints the resulting table bit-for-bit (see
 README, "Precompute"); ``serve`` runs N concurrent walkthrough sessions
@@ -151,6 +156,32 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the report to FILE (default: stdout)")
     chaos.add_argument("--list-plans", action="store_true",
                        help="list the built-in fault plans and exit")
+
+    crash = sub.add_parser(
+        "crash",
+        help="sweep a crash-point matrix over the journaled write path; "
+             "emit a byte-deterministic JSON report")
+    crash.add_argument("--seed", type=int, default=0,
+                       help="workload/injector seed (default: 0); the "
+                            "same seed reproduces the report byte-for-"
+                            "byte")
+    crash.add_argument("--pages", type=int, default=8,
+                       help="pages in the journaled file (default: 8)")
+    crash.add_argument("--page-size", type=int, default=128,
+                       help="bytes per page (default: 128)")
+    crash.add_argument("--txns", type=int, default=5,
+                       help="write transactions (default: 5; every "
+                            "second one checkpoints)")
+    crash.add_argument("--writes", type=int, default=3,
+                       help="page writes per transaction (default: 3)")
+    crash.add_argument("--cache-cells", type=int, default=10,
+                       help="cells in the precompute-cache torn-tail "
+                            "sweep (default: 10)")
+    crash.add_argument("--cache-stride", type=int, default=7,
+                       help="byte stride of interior cache truncation "
+                            "points (default: 7)")
+    crash.add_argument("--output", default=None, metavar="FILE",
+                       help="write the report to FILE (default: stdout)")
 
     precompute = sub.add_parser(
         "precompute",
@@ -381,7 +412,35 @@ def cmd_chaos(args) -> int:
               f"/{outcome['frames_total']} frames)")
     else:
         print(text)
-    return 0 if report["outcome"]["completed"] else 1
+    # Nonzero on any violated invariant — not just an aborted replay; a
+    # completed run whose accounting is inconsistent must fail CI too.
+    return 0 if report["invariants"]["ok"] else 1
+
+
+def cmd_crash(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs.crash import run_crash_sweep
+
+    try:
+        report = run_crash_sweep(seed=args.seed, pages=args.pages,
+                                 page_size=args.page_size, txns=args.txns,
+                                 writes_per_txn=args.writes,
+                                 cache_cells=args.cache_cells,
+                                 cache_stride=args.cache_stride)
+    except ReproError as exc:
+        print(f"repro crash: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        summary = report["summary"]
+        print(f"wrote {args.output} (points={summary['points']}, "
+              f"recovery_points={summary['recovery_points']}, "
+              f"violations={summary['violations']})")
+    else:
+        print(text)
+    return 0 if report["summary"]["ok"] else 1
 
 
 def cmd_precompute(args) -> int:
@@ -625,6 +684,8 @@ def main(argv=None) -> int:
         return cmd_profile(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "crash":
+        return cmd_crash(args)
     if args.command == "precompute":
         return cmd_precompute(args)
     if args.command == "serve":

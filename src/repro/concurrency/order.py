@@ -24,14 +24,16 @@ LATTICE: Tuple[str, ...] = (
     "serving.scheduler",  # SessionScheduler bookkeeping state
     "bufferpool",         # BufferPool frame-table lock
     "pagedfile",          # PagedFile physical-I/O lock
+    "journal",            # WriteAheadJournal append/sync lock
     "obs.registry",       # MetricsRegistry instrument-creation lock
 )
 
 # Levels whose locks exist precisely to serialize blocking work.  The
 # PagedFile I/O lock *is* the physical-I/O serialization point, so
-# reads/writes/fsync under it are the design, not a bug; RPR012 exempts
-# these levels.
-BLOCKING_ALLOWED = frozenset({"pagedfile"})
+# reads/writes/fsync under it are the design, not a bug; the journal
+# lock likewise serializes WAL appends and the commit fsync.  RPR012
+# exempts these levels.
+BLOCKING_ALLOWED = frozenset({"pagedfile", "journal"})
 
 
 def level_index(level: str) -> int:

@@ -32,6 +32,27 @@ class TransientIOError(StorageError):
     """
 
 
+class JournalCorruptError(StorageError):
+    """A write-ahead-journal record failed its framing CRC *mid-file*.
+
+    A torn tail (the normal power-loss shape) is silently truncated by
+    recovery; this error is reserved for corruption *before* later
+    intact records — bytes the journal claims were durable have rotted,
+    so replaying past them could resurrect a torn prefix as committed
+    state.  Recovery refuses instead of guessing.
+    """
+
+
+class SimulatedCrash(ReproError):
+    """A deterministic crash point injected by the fault layer fired.
+
+    Deliberately *not* a :class:`TransientIOError`: the retry layer must
+    never absorb a crash.  Harness code that catches it must abandon all
+    in-memory state — no flush, no checkpoint, no close — and exercise
+    recovery on a fresh open, exactly as a process kill would.
+    """
+
+
 class PageCorruptError(StorageError):
     """A page's payload did not match its integrity checksum on read.
 

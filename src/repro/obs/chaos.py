@@ -169,4 +169,16 @@ def run_chaos(*, scale: str = "small", session: int = 1,
                 "delta": faulted_fidelity - clean_fidelity,
             },
         }
+        # Invariants the CLI turns into an exit code: the walkthrough
+        # must survive the plan, and degradation can only *cost*
+        # fidelity — a faulted replay beating the clean baseline means
+        # the resilience accounting is lying (the epsilon absorbs
+        # float summation order, nothing else).
+        fidelity_not_improved = (not completed) or \
+            faulted_fidelity <= clean_fidelity + 1e-9
+        report["invariants"] = {
+            "completed": completed,
+            "fidelity_not_improved": fidelity_not_improved,
+            "ok": completed and fidelity_not_improved,
+        }
         return report

@@ -1,0 +1,451 @@
+"""``repro crash`` — a deterministic crash-point matrix over the journal.
+
+The crash-consistency claim (DESIGN.md §12) is only as good as its
+worst I/O boundary, so this harness does not sample: it *enumerates*.
+A probe run of a seeded write workload records every crash point the
+storage layer passes through — each page write and read, each commit
+marker append, each journal fsync, each checkpoint page copy, the data
+fsync, the journal reset, and every boundary inside recovery itself.
+The sweep then re-runs the workload once per boundary, kills it exactly
+there (:class:`~repro.errors.SimulatedCrash` abandons all in-memory
+state; :meth:`~repro.storage.pagedfile.PagedFile.crash` models the
+power loss), recovers, and checks three invariants:
+
+* **Atomicity** — every recovered page image equals some transaction
+  snapshot ``S_j`` of the workload, with ``durable(c) <= j <=
+  appended(c)``: at least every fsync'd commit survived, and nothing
+  beyond the last commit marker that physically reached the journal
+  was invented.
+* **Idempotence** — recovering the recovered file is a no-op, byte for
+  byte (data file and journal compared after a second open/close).
+* **Recovery crashes safely** — the crashed state is re-recovered with
+  a *nested* sweep that kills recovery at each of its own boundaries;
+  after a final clean open the file is byte-identical to the
+  reference recovery that was never interrupted.
+
+The same sweep covers the :class:`~repro.visibility.cache
+.PrecomputeCache` torn-tail contract: a fully written ``cells.jsonl``
+is truncated at every line boundary (and a stride of interior points),
+reopened, and the loaded cells plus
+:func:`~repro.visibility.persist.visibility_digest` are checked against
+the prefix a crash at that byte could legitimately leave behind.
+
+The report is plain dict/list/scalar data, a pure function of the
+keyword arguments: two calls with the same arguments must produce
+byte-identical JSON, which the CI crash-matrix job diffs.  No paths,
+timestamps or environment details appear in it.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SimulatedCrash
+from repro.obs import names
+from repro.obs.metrics import MetricsRegistry, use_registry
+from repro.storage import pageio
+from repro.storage.faults import FaultInjector
+from repro.storage.journal import journal_path
+from repro.storage.pagedfile import PagedFile
+from repro.visibility.cache import PrecomputeCache
+from repro.visibility.dov import CellVisibility, VisibilityTable
+from repro.visibility.persist import visibility_digest
+
+#: Byte-determinism marker: opts this module into RPR013's hygiene
+#: checks — the CI crash job diffs two runs of the report bytes.
+DETERMINISTIC_REPORT = True
+
+_DATA_FILE = "crash.pages"
+_COMPONENT = "crash"
+_CACHE_FINGERPRINT = "crash-harness"
+_CELLS_NAME = "cells.jsonl"
+_MANIFEST_NAME = "manifest.json"
+
+
+# -- the seeded workload -----------------------------------------------------
+#
+# Pure functions of (seed, txn, write index, page id): the sweep re-runs
+# the workload dozens of times and every run must be identical.  The
+# payload is a mod-251 byte ramp — consecutive byte values, so it can
+# never contain the journal's non-consecutive record magic b"RWAL" and
+# recovery's torn-tail resync scan cannot false-positive inside a page.
+
+def _page_for(txn: int, w: int, pages: int) -> int:
+    return (7 * txn + 3 * w) % pages
+
+
+def _payload(seed: int, txn: int, w: int, pid: int,
+             page_size: int) -> bytes:
+    base = seed + 31 * txn + 7 * w + 13 * pid
+    return bytes((base + i) % 251 for i in range(page_size))
+
+
+def _expected_states(*, seed: int, pages: int, page_size: int, txns: int,
+                     writes_per_txn: int) -> List[Dict[int, bytes]]:
+    """``S_0 .. S_txns``: page images after 0, 1, ... committed txns."""
+    current = {pid: bytes(page_size) for pid in range(pages)}
+    states = [dict(current)]
+    for txn in range(txns):
+        for w in range(writes_per_txn):
+            pid = _page_for(txn, w, pages)
+            current[pid] = _payload(seed, txn, w, pid, page_size)
+        states.append(dict(current))
+    return states
+
+
+def _run_workload(datadir: str, *, seed: int, pages: int, page_size: int,
+                  txns: int, writes_per_txn: int,
+                  injector: Optional[FaultInjector],
+                  holder: List[PagedFile]) -> None:
+    """Run the seeded workload; ``holder`` receives the file as soon as
+    it exists so a caller catching :class:`SimulatedCrash` can call
+    :meth:`~PagedFile.crash` on it."""
+    path = os.path.join(datadir, _DATA_FILE)
+    pfile = PagedFile("crashdata", page_size=page_size, path=path,
+                      journal=True, faults=injector)
+    holder.append(pfile)
+    if pfile.num_pages < pages:
+        pfile.allocate_many(pages - pfile.num_pages)
+    for txn in range(txns):
+        for w in range(writes_per_txn):
+            pid = _page_for(txn, w, pages)
+            pageio.write_page(
+                pfile, pid, _payload(seed, txn, w, pid, page_size),
+                component=_COMPONENT)
+        # A read inside the txn keeps read boundaries in the matrix
+        # (and exercises the overlay-serving path under faults).
+        pageio.read_page(pfile, _page_for(txn, 0, pages),
+                         component=_COMPONENT)
+        pfile.commit()
+        if txn % 2 == 1:
+            pfile.checkpoint()
+    pfile.close()
+
+
+def _probe_boundaries(workdir: str, **cfg: int) -> List[str]:
+    """Run the workload once with an armed-but-unreachable crash counter
+    to learn the full ordered list of crash-point labels."""
+    datadir = os.path.join(workdir, "probe")
+    os.makedirs(datadir)
+    injector = FaultInjector(seed=int(cfg["seed"]))
+    injector.crash_after_ops(10 ** 9)
+    _run_workload(datadir, injector=injector, holder=[], **cfg)
+    return list(injector.crash_trace)
+
+
+def _read_file(path: str) -> bytes:
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def _file_state(datadir: str) -> Tuple[bytes, bytes]:
+    """(data bytes, journal bytes) — the unit of byte-identity checks."""
+    path = os.path.join(datadir, _DATA_FILE)
+    return _read_file(path), _read_file(journal_path(path))
+
+
+def _restore(src: Tuple[bytes, bytes], datadir: str) -> str:
+    os.makedirs(datadir)
+    path = os.path.join(datadir, _DATA_FILE)
+    with open(path, "wb") as fh:
+        fh.write(src[0])
+    with open(journal_path(path), "wb") as fh:
+        fh.write(src[1])
+    return path
+
+
+def _observe_pages(datadir: str, *, pages: int,
+                   page_size: int) -> Tuple[PagedFile, Dict[int, bytes]]:
+    """Clean reopen (recovery runs) and read back every page."""
+    pfile = PagedFile("crashdata", page_size=page_size,
+                      path=os.path.join(datadir, _DATA_FILE), journal=True)
+    observed = {pid: pageio.read_page(pfile, pid, component=_COMPONENT)
+                for pid in range(min(pages, pfile.num_pages))}
+    for pid in range(pfile.num_pages, pages):
+        observed[pid] = bytes(page_size)   # extent lost with the crash
+    return pfile, observed
+
+
+def _recovery_crash_sweep(crashed: Tuple[bytes, bytes], workdir: str,
+                          reference: Tuple[bytes, bytes], *, seed: int,
+                          page_size: int,
+                          violations: List[str],
+                          point: int) -> Dict[str, object]:
+    """Kill recovery of ``crashed`` at each of its own boundaries, then
+    recover cleanly and demand byte-identity with ``reference``."""
+    probe_dir = os.path.join(workdir, "rprobe")
+    path = _restore(crashed, probe_dir)
+    injector = FaultInjector(seed=seed)
+    injector.crash_after_ops(10 ** 9)
+    pfile = PagedFile("crashdata", page_size=page_size, path=path,
+                      journal=True, faults=injector)
+    pfile.close()
+    boundaries = len(injector.crash_trace)
+    ok = True
+    for r in range(1, boundaries + 1):
+        rdir = os.path.join(workdir, f"r{r:03d}")
+        rpath = _restore(crashed, rdir)
+        rinj = FaultInjector(seed=seed)
+        rinj.crash_after_ops(r)
+        crashed_as_armed = False
+        try:
+            PagedFile("crashdata", page_size=page_size, path=rpath,
+                      journal=True, faults=rinj)
+        except SimulatedCrash:
+            crashed_as_armed = True
+        if not crashed_as_armed:
+            ok = False
+            violations.append(
+                f"point {point}: recovery boundary {r} did not crash")
+            continue
+        # Second-chance recovery must converge to the reference bytes.
+        clean = PagedFile("crashdata", page_size=page_size, path=rpath,
+                          journal=True)
+        clean.close()
+        if _file_state(rdir) != reference:
+            ok = False
+            violations.append(
+                f"point {point}: crash at recovery boundary {r} "
+                f"({injector.crash_trace[r - 1]}) diverged from the "
+                f"uninterrupted recovery")
+    return {"boundaries": boundaries, "converged": ok}
+
+
+def _sweep_point(c: int, label: str, workdir: str,
+                 states: List[Dict[int, bytes]], durable: int,
+                 appended: int, violations: List[str],
+                 **cfg: int) -> Dict[str, object]:
+    """Crash the workload at boundary ``c``, recover, check invariants."""
+    datadir = os.path.join(workdir, f"point-{c:03d}")
+    os.makedirs(datadir)
+    injector = FaultInjector(seed=int(cfg["seed"]))
+    injector.crash_after_ops(c)
+    holder: List[PagedFile] = []
+    crashed_as_armed = False
+    try:
+        _run_workload(datadir, injector=injector, holder=holder, **cfg)
+    except SimulatedCrash:
+        crashed_as_armed = True
+    if not crashed_as_armed:
+        raise AssertionError(f"boundary {c} did not crash")
+    if holder:
+        holder[0].crash()
+    crashed = _file_state(datadir)
+
+    pages, page_size = int(cfg["pages"]), int(cfg["page_size"])
+    pfile, observed = _observe_pages(datadir, pages=pages,
+                                     page_size=page_size)
+    recovery = pfile.last_recovery
+    matches = [j for j, state in enumerate(states) if state == observed]
+    recovered = max(matches) if matches else -1
+    atomic = bool(matches) and durable <= recovered <= appended
+    if not atomic:
+        violations.append(
+            f"point {c} ({label}): recovered state {recovered} outside "
+            f"[{durable}, {appended}] "
+            f"({'no snapshot matched' if not matches else 'commit bound'})")
+
+    # Idempotence: close, reopen, and the second recovery must be a
+    # no-op that leaves every byte alone.
+    pfile.close()
+    once = _file_state(datadir)
+    again = PagedFile("crashdata", page_size=page_size,
+                      path=os.path.join(datadir, _DATA_FILE), journal=True)
+    rerun = again.last_recovery
+    again.close()
+    idempotent = (rerun is None or rerun.is_noop()) \
+        and _file_state(datadir) == once
+    if not idempotent:
+        violations.append(
+            f"point {c} ({label}): recovery was not idempotent")
+
+    recovery_crash = _recovery_crash_sweep(
+        crashed, datadir, once, seed=int(cfg["seed"]),
+        page_size=page_size, violations=violations, point=c)
+    return {
+        "boundary": c,
+        "label": label,
+        "durable_commits": durable,
+        "appended_commits": appended,
+        "recovered_state": recovered,
+        "pages_replayed": recovery.pages_replayed if recovery else 0,
+        "tail_truncated_bytes":
+            recovery.tail_truncated_bytes if recovery else 0,
+        "atomic": atomic,
+        "idempotent": idempotent,
+        "recovery_crash": recovery_crash,
+    }
+
+
+# -- precompute-cache torn-tail sweep ---------------------------------------
+
+def _cache_dov(cell: int, oid: int) -> float:
+    return (1 + ((cell * 7 + oid) % 97)) / 100.0
+
+
+def _cache_cells(cells: int) -> Dict[int, Dict[int, float]]:
+    return {cell: {oid: _cache_dov(cell, oid)
+                   for oid in range(1 + cell % 3)}
+            for cell in range(cells)}
+
+
+def _digest_of(loaded: Dict[int, Dict[int, float]], cells: int) -> str:
+    table = VisibilityTable(cells)
+    for cell_id in sorted(loaded):
+        cv = CellVisibility(cell_id)
+        for oid, dov in sorted(loaded[cell_id].items()):
+            cv.set(oid, float(dov))
+        table.put(cv)
+    return visibility_digest(table)
+
+
+def _cache_sweep(workdir: str, *, cells: int,
+                 stride: int, violations: List[str]) -> Dict[str, object]:
+    """Truncate ``cells.jsonl`` at every interesting byte and reopen.
+
+    The contract under test (satellite of DESIGN.md §12): with the
+    default ``always`` fsync policy a crash can tear at most the final
+    record, and the loader drops exactly that — a final line missing
+    only its newline still parses and **is** kept.
+    """
+    basedir = os.path.join(workdir, "cache-full")
+    cache = PrecomputeCache.open(basedir, _CACHE_FINGERPRINT, cells,
+                                 resume=False, fsync_policy="always")
+    expected_full = _cache_cells(cells)
+    for cell in range(cells):
+        cache.record(cell, expected_full[cell])
+    cache.close()
+    raw = _read_file(os.path.join(basedir, _CELLS_NAME))
+    manifest = _read_file(os.path.join(basedir, _MANIFEST_NAME))
+
+    spans: List[Tuple[int, int]] = []
+    start = 0
+    while start < len(raw):
+        end = raw.index(b"\n", start) + 1
+        spans.append((start, end))
+        start = end
+    points = sorted({p for p in range(0, len(raw) + 1, max(stride, 1))}
+                    | {end - 1 for _, end in spans} | {len(raw)})
+
+    checked = torn_seen = 0
+    ok = True
+    for p in points:
+        pdir = os.path.join(workdir, f"cache-{p:05d}")
+        os.makedirs(pdir)
+        with open(os.path.join(pdir, _MANIFEST_NAME), "wb") as fh:
+            fh.write(manifest)
+        with open(os.path.join(pdir, _CELLS_NAME), "wb") as fh:
+            fh.write(raw[:p])
+        expected = {cell: dov for cell, dov in expected_full.items()
+                    if p >= spans[cell][1] or p == spans[cell][1] - 1}
+        torn = any(s < p < e - 1 for s, e in spans)
+        reopened = PrecomputeCache.open(pdir, _CACHE_FINGERPRINT, cells,
+                                        resume=True)
+        reopened.close()
+        checked += 1
+        torn_seen += reopened.torn_lines
+        if reopened.loaded != expected or \
+                reopened.torn_lines != (1 if torn else 0):
+            ok = False
+            violations.append(
+                f"cache truncated at byte {p}: loaded "
+                f"{sorted(reopened.loaded)} (torn={reopened.torn_lines}), "
+                f"expected {sorted(expected)} (torn={int(torn)})")
+        elif _digest_of(reopened.loaded, cells) != \
+                _digest_of(expected, cells):
+            ok = False
+            violations.append(
+                f"cache truncated at byte {p}: visibility digest mismatch")
+    return {"cells": cells, "bytes": len(raw), "points": checked,
+            "torn_tails": torn_seen, "ok": ok}
+
+
+# -- the report --------------------------------------------------------------
+
+def _metric_totals(registry: MetricsRegistry) -> Dict[str, float]:
+    """Sum the crash-consistency counters across their file labels."""
+    out: Dict[str, float] = {}
+    for name in (names.JOURNAL_RECORDS, names.JOURNAL_COMMITS,
+                 names.RECOVERY_PAGES_REPLAYED,
+                 names.RECOVERY_TAIL_TRUNCATIONS, names.CRASHES_INJECTED):
+        out[name] = sum(inst.value
+                        for inst in registry.series(name).values())
+    return out
+
+
+def run_crash_sweep(*, seed: int = 0, pages: int = 8, page_size: int = 128,
+                    txns: int = 5, writes_per_txn: int = 3,
+                    cache_cells: int = 10, cache_stride: int = 7,
+                    workdir: Optional[str] = None) -> Dict[str, object]:
+    """Run the full crash matrix; returns the JSON-ready report.
+
+    Parameters
+    ----------
+    seed:
+        Seeds both the page payloads and the fault injectors.
+    pages, page_size:
+        Shape of the journaled file under test.
+    txns, writes_per_txn:
+        Workload size: each transaction writes, reads one page back,
+        commits, and every second transaction checkpoints.
+    cache_cells, cache_stride:
+        Size of the precompute cache and the byte stride of interior
+        truncation points in its torn-tail sweep.
+    workdir:
+        Scratch directory (a temp dir by default, removed afterwards).
+        Never appears in the report.
+    """
+    cfg = {"seed": seed, "pages": pages, "page_size": page_size,
+           "txns": txns, "writes_per_txn": writes_per_txn}
+    cleanup = workdir is None
+    if workdir is None:
+        workdir = tempfile.mkdtemp(prefix="repro-crash-")
+    registry = MetricsRegistry()
+    try:
+        with use_registry(registry):
+            labels = _probe_boundaries(workdir, **cfg)
+            states = _expected_states(**cfg)
+            violations: List[str] = []
+            sweep: List[Dict[str, object]] = []
+            for c in range(1, len(labels) + 1):
+                # Ticks 1..c-1 ran their operation; tick c did not —
+                # so a commit is durable at c iff its journal fsync
+                # tick is strictly below c, and a commit marker exists
+                # iff its append tick is.
+                executed = labels[:c - 1]
+                durable = sum(
+                    1 for lbl in executed if lbl.startswith("journal-sync:"))
+                appended = sum(
+                    1 for lbl in executed
+                    if lbl.startswith("journal-commit:"))
+                sweep.append(_sweep_point(
+                    c, labels[c - 1], workdir, states, durable, appended,
+                    violations, **cfg))
+            cache = _cache_sweep(workdir, cells=cache_cells,
+                                 stride=cache_stride,
+                                 violations=violations)
+            report: Dict[str, object] = {
+                "crash": dict(cfg, cache_cells=cache_cells,
+                              cache_stride=cache_stride,
+                              boundaries=len(labels), labels=labels),
+                "sweep": sweep,
+                "cache": cache,
+                "metrics": _metric_totals(registry),
+                "violations": violations,
+                "summary": {
+                    "points": len(sweep),
+                    "recovery_points": sum(
+                        rc["boundaries"] for rc in
+                        (entry["recovery_crash"] for entry in sweep)),
+                    "cache_points": cache["points"],
+                    "violations": len(violations),
+                    "ok": not violations,
+                },
+            }
+            return report
+    finally:
+        if cleanup:
+            shutil.rmtree(workdir, ignore_errors=True)

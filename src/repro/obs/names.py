@@ -53,6 +53,14 @@ PAGEIO_RETRIES = "pageio_retries_total"
 PAGEIO_GIVEUPS = "pageio_giveups_total"
 PAGES_CORRUPT = "pages_corrupt_total"
 
+# -- repro.storage.journal / recovery: crash consistency, labelled by file --
+
+JOURNAL_RECORDS = "journal_records_total"
+JOURNAL_COMMITS = "journal_commits_total"
+RECOVERY_PAGES_REPLAYED = "recovery_pages_replayed_total"
+RECOVERY_TAIL_TRUNCATIONS = "recovery_tail_truncations_total"
+CRASHES_INJECTED = "crashes_injected_total"
+
 # -- repro.core.search: one series set per scheme label ---------------------
 
 SEARCH_QUERIES = "search_queries_total"

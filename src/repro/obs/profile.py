@@ -51,6 +51,11 @@ def _iostats_dict(stats: IOStats) -> Dict[str, float]:
     }
 
 
+def _metric_sum(registry: MetricsRegistry, name: str) -> float:
+    """Total of one counter across all its label series (0.0 if none)."""
+    return sum(inst.value for inst in registry.series(name).values())
+
+
 def _environment_files(env: HDoVEnvironment) -> List[PagedFile]:
     """Every paged file the environment charges I/O through."""
     files = [env.node_store.pfile, env.object_store.pfile]
@@ -223,6 +228,22 @@ def run_profile(*, scale: str = "small", session: int = 1,
                 },
                 "reconciled": reconciliation["ok"],
                 "reconciliation": reconciliation["groups"],
+                # Crash-consistency counters (PR 8).  All zero in a
+                # plain walkthrough — the environment's files are not
+                # journaled — but any journaled file opened inside the
+                # profiled registry shows up here, and a nonzero
+                # replay/truncation count is the profile-level signal
+                # that the run started from a crashed state.
+                "journal": {
+                    "records": _metric_sum(registry,
+                                           names.JOURNAL_RECORDS),
+                    "commits": _metric_sum(registry,
+                                           names.JOURNAL_COMMITS),
+                    "recovery_pages_replayed": _metric_sum(
+                        registry, names.RECOVERY_PAGES_REPLAYED),
+                    "recovery_tail_truncations": _metric_sum(
+                        registry, names.RECOVERY_TAIL_TRUNCATIONS),
+                },
             },
             "cache": {
                 "delta_search": {

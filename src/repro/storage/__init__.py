@@ -9,6 +9,12 @@ Resilience (PR 3) lives here too: :mod:`repro.storage.faults` injects
 deterministic failures beneath :class:`PagedFile`, and
 :mod:`repro.storage.retry` absorbs the transient ones at the
 :mod:`~repro.storage.pageio` facade.
+
+Crash consistency (PR 8): :mod:`repro.storage.journal` write-ahead-logs
+every journaled page write, :mod:`repro.storage.recovery` replays
+committed records on open, and :mod:`repro.storage.atomic` gives the
+metadata writers (manifests, persisted tables, baselines) atomic,
+durable whole-file replacement.
 """
 
 from repro.storage.disk import DiskModel, IOStats
@@ -19,9 +25,14 @@ from repro.storage.faults import (FaultInjector, FaultPlan, FaultRule,
                                   named_plan, plan_names)
 from repro.storage.retry import (DEFAULT_RETRY_POLICY, RetryPolicy,
                                  run_with_retry)
+from repro.storage.journal import WriteAheadJournal, journal_path
+from repro.storage.recovery import RecoveryReport, recover
+from repro.storage.atomic import atomic_write_bytes, atomic_write_text
 from repro.storage import pageio
 
 __all__ = ["DiskModel", "IOStats", "PagedFile", "BufferPool", "ObjectStore",
            "FaultInjector", "FaultPlan", "FaultRule", "named_plan",
            "plan_names", "RetryPolicy", "DEFAULT_RETRY_POLICY",
-           "run_with_retry", "pageio"]
+           "run_with_retry", "WriteAheadJournal", "journal_path",
+           "RecoveryReport", "recover", "atomic_write_bytes",
+           "atomic_write_text", "pageio"]

@@ -1,0 +1,71 @@
+"""Atomic, durable file replacement for small metadata writers.
+
+Manifests, persisted tables, and lint baselines are all
+write-the-whole-file artifacts: a torn in-place rewrite leaves a file
+that parses as garbage or — worse — parses cleanly as stale state.
+:func:`atomic_write_bytes` gives every such writer the standard
+temp-file dance:
+
+1. write the full payload to a temporary file *in the same directory*
+   (``os.replace`` must not cross filesystems);
+2. flush and fsync the temporary file, so the bytes are durable before
+   the name is;
+3. ``os.replace`` over the destination — atomic on POSIX;
+4. fsync the directory, so the rename itself survives a power loss.
+
+Readers therefore observe either the complete old file or the complete
+new one, never a prefix of either.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Atomically replace ``path``'s contents with ``data``, durably."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        # The temp file is ours alone; remove the debris before
+        # re-raising (it may already be gone if replace() succeeded
+        # and a later failure is unwinding).
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+    _fsync_directory(directory)
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """UTF-8 convenience wrapper over :func:`atomic_write_bytes`."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def _fsync_directory(directory: str) -> None:
+    """Make a completed rename in ``directory`` durable.
+
+    Some filesystems (and platforms) refuse ``open()`` on a directory;
+    the rename is still atomic there, just not crash-durable, so this
+    degrades to a no-op rather than failing the write.
+    """
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        return
+    finally:
+        os.close(dir_fd)
+
+
+__all__ = ["atomic_write_bytes", "atomic_write_text"]

@@ -18,6 +18,16 @@ internal LoD → fatal; see DESIGN.md) can be exercised on every PR:
 * ``fail-after`` — every matching operation past the first ``after_ops``
   fails, modelling a device that drops off the bus mid-session.
 
+Orthogonal to the plan rules, the injector also carries *deterministic
+crash points*: :meth:`FaultInjector.crash_after_ops` arms a countdown,
+and the ``n``-th I/O boundary thereafter raises a typed
+:class:`~repro.errors.SimulatedCrash` *before* the boundary's operation
+runs.  Boundaries are every page read/write plus every journal commit,
+sync, checkpoint and recovery step, so a sweep over ``n`` visits every
+state a power loss could leave behind (``repro crash`` does exactly
+that).  A crash is not a fault rule on purpose: it consumes no RNG, so
+arming it never perturbs the plan's fault sequence.
+
 Everything is driven by one ``random.Random(seed)``, and replays are
 single-threaded, so the same plan + seed + workload reproduces the
 identical fault sequence (the chaos CI job diffs two runs to prove it).
@@ -31,9 +41,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
-from repro.errors import StorageError, TransientIOError
+from repro.errors import SimulatedCrash, StorageError, TransientIOError
+from repro.obs import names
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.pagedfile import PagedFile
@@ -113,15 +125,26 @@ class FaultInjector:
     fixtures must always uninstall, or faults leak into later tests).
     """
 
-    def __init__(self, plan: FaultPlan, *, seed: int) -> None:
+    def __init__(self, plan: Optional[FaultPlan] = None, *,
+                 seed: int) -> None:
         self.plan = plan
         self.seed = seed
         self._rng = random.Random(seed)
         #: Injection count per fault kind (for reports).
         self.injected: Dict[str, int] = {}
-        self._rule_hits: List[int] = [0] * len(plan.rules)
+        #: Plan rules, or none — a plan-less injector is a pure
+        #: crash-point source for the crash harness.
+        self._rules: Tuple[FaultRule, ...] = \
+            () if plan is None else plan.rules
+        self._plan_name = plan.name if plan is not None else "crash-only"
+        self._rule_hits: List[int] = [0] * len(self._rules)
         self._ops_per_file: Dict[str, int] = {}
         self._installed: List["PagedFile"] = []
+        self._crash_after: Optional[int] = None
+        self._crash_ops = 0
+        #: Ordered labels of every boundary seen while armed — the
+        #: crash harness probes a workload once to learn its matrix.
+        self.crash_trace: List[str] = []
 
     # -- wiring ------------------------------------------------------------
 
@@ -144,6 +167,40 @@ class FaultInjector:
 
     def total_injected(self) -> int:
         return sum(self.injected.values())
+
+    # -- deterministic crash points ------------------------------------------
+
+    def crash_after_ops(self, n: Optional[int]) -> None:
+        """Arm (or with None disarm) the crash countdown.
+
+        With ``n``, the ``n``-th I/O boundary after this call raises
+        :class:`SimulatedCrash` before its operation runs; boundaries
+        ``1 .. n-1`` execute normally and are recorded in
+        :attr:`crash_trace`.
+        """
+        if n is not None and n < 1:
+            raise StorageError(f"crash_after_ops must be >= 1, got {n}")
+        self._crash_after = n
+        self._crash_ops = 0
+        self.crash_trace = []
+
+    def crash_point(self, label: str) -> None:
+        """One I/O boundary: count it, and crash if the countdown hit.
+
+        A no-op unless :meth:`crash_after_ops` armed the countdown, so
+        the hot path of plan-only injection never pays for it.
+        """
+        if self._crash_after is None:
+            return
+        self._crash_ops += 1
+        self.crash_trace.append(label)
+        if self._crash_ops >= self._crash_after:
+            self.injected["crash"] = self.injected.get("crash", 0) + 1
+            # Lazily created: fault-free runs register no new series.
+            get_registry().counter(names.CRASHES_INJECTED).inc()
+            raise SimulatedCrash(
+                f"simulated crash at I/O boundary {self._crash_ops} "
+                f"({label})")
 
     # -- rule machinery ------------------------------------------------------
 
@@ -172,9 +229,12 @@ class FaultInjector:
         filter hooks so each rule rolls the RNG at most once per access.
         """
         name = pfile.name
-        self._ops_per_file[name] = self._ops_per_file.get(name, 0) + 1
         verb = "write" if write else "read"
-        for index, rule in enumerate(self.plan.rules):
+        # The crash point comes first: a crash models the process dying
+        # *before* the operation, so the op must not count or fire rules.
+        self.crash_point(f"{verb}:{name}")
+        self._ops_per_file[name] = self._ops_per_file.get(name, 0) + 1
+        for index, rule in enumerate(self._rules):
             if rule.kind in ("bit-flip", "torn-write"):
                 continue
             if rule.kind == "read-error" and write:
@@ -191,15 +251,15 @@ class FaultInjector:
             elif rule.kind == "fail-after":
                 raise TransientIOError(
                     f"{name}: device gone after {rule.after_ops} ops "
-                    f"(fault plan {self.plan.name!r})")
+                    f"(fault plan {self._plan_name!r})")
             else:
                 raise TransientIOError(
                     f"{name}: injected transient {verb} error "
-                    f"(fault plan {self.plan.name!r})")
+                    f"(fault plan {self._plan_name!r})")
 
     def _filter(self, pfile: "PagedFile", data: bytes, kind: str) -> bytes:
         """Run the payload rules of ``kind`` against one page image."""
-        for index, rule in enumerate(self.plan.rules):
+        for index, rule in enumerate(self._rules):
             if rule.kind != kind:
                 continue
             if rule.match and rule.match not in pfile.name:
@@ -243,9 +303,28 @@ class FaultInjector:
         """Corrupt the payload on its way to the backend (torn write)."""
         return self._filter(pfile, data, "torn-write")
 
+    def filter_journal(self, name: str, payload: bytes) -> bytes:
+        """Corrupt a journal record on its way into the WAL (bit rot).
+
+        Applies the plan's ``bit-flip`` rules against the journal's own
+        match name (``<file>.wal``), *after* the record's framing CRC
+        was computed — so a hit becomes the CRC mismatch recovery must
+        classify as interior corruption or a torn tail.
+        """
+        for index, rule in enumerate(self._rules):
+            if rule.kind != "bit-flip":
+                continue
+            if rule.match and rule.match not in name:
+                continue
+            if not self._fires(index, rule, name):
+                continue
+            self._record(index, rule.kind)
+            payload = self._flip_bit(payload)
+        return payload
+
     def __repr__(self) -> str:
-        return (f"FaultInjector(plan={self.plan.name!r}, seed={self.seed}, "
-                f"injected={self.total_injected()})")
+        return (f"FaultInjector(plan={self._plan_name!r}, "
+                f"seed={self.seed}, injected={self.total_injected()})")
 
 
 # -- named plans ------------------------------------------------------------

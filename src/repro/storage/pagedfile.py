@@ -17,7 +17,7 @@ import os
 import struct
 import threading
 import zlib
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.concurrency.witness import wrap_lock
 from repro.constants import PAGE_SIZE
@@ -25,9 +25,11 @@ from repro.errors import PageCorruptError, PageNotFoundError, StorageError
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.disk import DiskModel, IOStats
+from repro.storage.journal import WriteAheadJournal, journal_path
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.storage.faults import FaultInjector
+    from repro.storage.recovery import RecoveryReport
 
 #: Process-wide monotonic file identity.  ``id(pfile)`` is unusable as a
 #: cache key because a garbage-collected file's address can be reused by
@@ -59,6 +61,16 @@ class PagedFile:
     path:
         Optional real filesystem path.  When given, pages are persisted to
         the file; otherwise pages live in an in-process dict.
+    journal:
+        Enable crash consistency (disk-backed files only): every write
+        is appended to a write-ahead log at ``<path>.wal`` before the
+        data file is touched, and opening the file replays committed
+        journal entries (see :mod:`repro.storage.recovery`).  Writes
+        stay in an in-memory overlay until :meth:`checkpoint` copies
+        them into the data file; :meth:`commit` makes them durable.
+    faults:
+        Optional fault injector to install *before* recovery runs, so
+        deterministic crash points cover recovery itself.
 
     Notes
     -----
@@ -79,9 +91,15 @@ class PagedFile:
     def __init__(self, name: str, *, page_size: int = PAGE_SIZE,
                  disk: Optional[DiskModel] = None,
                  stats: Optional[IOStats] = None,
-                 path: Optional[str] = None) -> None:
+                 path: Optional[str] = None,
+                 journal: bool = False,
+                 faults: Optional["FaultInjector"] = None) -> None:
         if page_size <= 0:
             raise StorageError(f"page_size must be positive, got {page_size}")
+        if journal and path is None:
+            raise StorageError(
+                f"{name}: journaling requires a disk-backed file "
+                f"(pass path=)")
         self.name = name
         self.page_size = page_size
         self.disk = disk if disk is not None else DiskModel()
@@ -136,6 +154,35 @@ class PagedFile:
                     f"{path}: size {size} is not a multiple of the "
                     f"physical page size {self._physical_page_size}")
             self._num_pages = size // self._physical_page_size
+        #: WAL-before-data: journaled writes park page images here until
+        #: checkpoint copies them into the data file.  Guarded by
+        #: ``_io_lock``; maps page id to ``(payload, intended CRC)``.
+        self._overlay: Dict[int, Tuple[bytes, int]] = {}
+        self._journal: Optional[WriteAheadJournal] = None
+        self._last_recovery: Optional["RecoveryReport"] = None
+        if journal:
+            assert path is not None
+            self._journal = WriteAheadJournal(
+                journal_path(path), page_size=page_size, name=name)
+        # The injector goes in before recovery so the crash harness can
+        # kill recovery itself at any boundary.
+        if faults is not None:
+            faults.install(self)
+        if self._journal is not None and self._journal.has_entries:
+            from repro.storage.recovery import recover
+            try:
+                self._last_recovery = recover(self)
+            except BaseException:
+                # Constructor unwinding doubles as the crash: release
+                # the handles exactly as :meth:`crash` would — flushed
+                # (the write-through data model) but never checkpointed.
+                if self._fh is not None:
+                    self._fh.flush()
+                    self._fh.close()
+                    self._fh = None
+                self._journal.close()
+                self._closed = True
+                raise
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -151,11 +198,41 @@ class PagedFile:
         with self._io_lock:
             if self._closed:
                 return
+            if self._journal is not None:
+                self.checkpoint()
+                self._journal.close()
             if self._fh is not None:
                 self._fh.flush()
                 os.fsync(self._fh.fileno())
                 self._fh.close()
                 self._fh = None
+            self._closed = True
+
+    def crash(self) -> None:
+        """Simulate a power loss: abandon state without flush paths.
+
+        The journal drops the volatile half of its un-synced tail (see
+        :meth:`WriteAheadJournal.simulate_power_loss`); the overlay and
+        the in-memory backend vanish outright, as RAM does.  The data
+        file is modelled *write-through* — page writes that completed
+        before the crash survive — which is safe precisely because the
+        journal is redo-only: committed images are replayed over
+        whatever the data file holds, and uncommitted images never
+        reach it (they live in the overlay until checkpoint).  See
+        DESIGN.md §12.
+        """
+        with self._io_lock:
+            if self._closed:
+                return
+            if self._journal is not None:
+                self._journal.simulate_power_loss()
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
+            self._overlay.clear()
+            self._mem.clear()
+            self._crcs.clear()
             self._closed = True
 
     def __enter__(self) -> "PagedFile":
@@ -174,6 +251,16 @@ class PagedFile:
     def faults(self) -> Optional["FaultInjector"]:
         """The installed fault injector, or None (the happy path)."""
         return self._faults
+
+    @property
+    def journal(self) -> Optional[WriteAheadJournal]:
+        """The write-ahead journal, or None (journaling disabled)."""
+        return self._journal
+
+    @property
+    def last_recovery(self) -> Optional["RecoveryReport"]:
+        """What recovery did at open time; None if it had nothing to do."""
+        return self._last_recovery
 
     def install_faults(self, injector: Optional["FaultInjector"]) -> None:
         """Attach (or, with None, detach) a fault injector.
@@ -273,6 +360,16 @@ class PagedFile:
             self._charge(page_id, write=False)
             if self._faults is not None:
                 self._faults.before_read(self, page_id)
+            overlay = self._overlay.get(page_id)
+            if overlay is not None:
+                # Journaled write not yet checkpointed: the overlay is
+                # the page's current image; the data file is stale.
+                data, crc = overlay
+                if self._faults is not None:
+                    data = self._faults.filter_read(self, page_id, data)
+                if zlib.crc32(data) != crc:
+                    raise self._corrupt(page_id, "CRC mismatch")
+                return data
             if self._fh is None:
                 stored = self._mem.get(page_id)
                 # Allocated but never written: lazily materialise zeros.
@@ -344,13 +441,112 @@ class PagedFile:
             if self._faults is not None:
                 self._faults.before_write(self, page_id)
                 data = self._faults.filter_write(self, page_id, data)
-            if self._fh is None:
-                self._mem[page_id] = bytes(data)
-                self._crcs[page_id] = crc
-            else:
-                self._fh.seek(page_id * self._physical_page_size)
-                self._fh.write(
-                    data + _TRAILER.pack(_TRAILER_MAGIC, crc))
+            if self._journal is not None:
+                # WAL-before-data: the image reaches the journal now and
+                # the data file only at checkpoint, after a commit
+                # marker proved it durable — so every data page is
+                # always either its pre-crash or post-commit image.
+                self._journal.append_page_image(page_id, data, crc,
+                                                faults=self._faults)
+                self._overlay[page_id] = (bytes(data), crc)
+                return
+            self._backend_write(page_id, data, crc)
+
+    def _backend_write(self, page_id: int, data: bytes, crc: int) -> None:
+        """Raw backend write: no charging, no faults, no journal.
+
+        Extends the file when replay targets a page past the current
+        end (an allocation whose pages were journaled but whose extent
+        was lost).  Callers hold ``_io_lock``.
+        """
+        if page_id >= self._num_pages:
+            self._num_pages = page_id + 1
+            if self._fh is not None:
+                self._fh.truncate(
+                    self._num_pages * self._physical_page_size)
+        if self._fh is None:
+            self._mem[page_id] = bytes(data)
+            self._crcs[page_id] = crc
+        else:
+            self._fh.seek(page_id * self._physical_page_size)
+            self._fh.write(
+                data + _TRAILER.pack(_TRAILER_MAGIC, crc))
+
+    # -- crash consistency ---------------------------------------------------
+
+    def _require_journal(self) -> WriteAheadJournal:
+        if self._journal is None:
+            raise StorageError(
+                f"{self.name}: not a journaled file (pass journal=True)")
+        return self._journal
+
+    def commit(self) -> None:
+        """Group-commit: make every write since the last commit durable.
+
+        Appends one commit marker covering the batch and fsyncs the
+        journal once.  A commit with nothing pending is a no-op (no
+        empty markers, no wasted fsync).  The data file is untouched —
+        durability lives in the journal until :meth:`checkpoint`.
+        """
+        with self._io_lock:
+            self._check_open()
+            journal = self._require_journal()
+            if journal.uncommitted_records == 0:
+                return
+            if self._faults is not None:
+                self._faults.crash_point(f"journal-commit:{self.name}")
+            journal.append_commit_marker()
+            if self._faults is not None:
+                self._faults.crash_point(f"journal-sync:{self.name}")
+            journal.sync()
+
+    def checkpoint(self) -> None:
+        """Commit, copy overlay images into the data file, reset the WAL.
+
+        Ordering is the whole point: commit marker fsync'd first (so a
+        crash mid-copy replays from the journal), data file written and
+        fsync'd second, journal truncated last (only once the data file
+        holds everything).  Checkpoint writes are charged to the disk
+        model — they are the WAL's write amplification, and hiding them
+        would skew ``repro profile``'s reconciliation.
+        """
+        with self._io_lock:
+            self._check_open()
+            journal = self._require_journal()
+            self.commit()
+            if not self._overlay and not journal.has_entries:
+                return
+            for page_id in sorted(self._overlay):
+                data, crc = self._overlay[page_id]
+                self._charge(page_id, write=True)
+                if self._faults is not None:
+                    self._faults.crash_point(
+                        f"checkpoint-write:{self.name}:{page_id}")
+                self._backend_write(page_id, data, crc)
+            if self._faults is not None:
+                self._faults.crash_point(f"data-sync:{self.name}")
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+            if self._faults is not None:
+                self._faults.crash_point(f"journal-reset:{self.name}")
+            journal.reset()
+            self._overlay.clear()
+
+    def replay_page(self, page_id: int, data: bytes, crc: int) -> None:
+        """Apply one committed journal image (recovery only; charged)."""
+        with self._io_lock:
+            self._check_open()
+            self._charge(page_id, write=True)
+            self._backend_write(page_id, data, crc)
+
+    def sync_data(self) -> None:
+        """Flush and fsync the data file (recovery's durability barrier)."""
+        with self._io_lock:
+            self._check_open()
+            if self._fh is not None:
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
 
     def append_page(self, data: bytes) -> int:
         """Allocate and write in one step; returns the new page id."""

@@ -1,0 +1,218 @@
+"""Crash recovery: replay a write-ahead journal into its data file.
+
+Runs automatically when a journaled :class:`PagedFile` opens a journal
+with entries.  The algorithm is classic redo-only recovery:
+
+1. **Scan** the journal once, front to back, validating each record's
+   framing CRC.  Page images accumulate in a *pending* set; a commit
+   marker promotes the pending set to *committed* (later images of the
+   same page win).  Images never followed by a commit marker are
+   discarded — they were not acknowledged as durable.
+2. **Classify damage.**  An invalid record with no *intact* record
+   after it is a torn tail — the normal power-loss shape — and is
+   truncated.  An invalid record *followed by* a parseable record means
+   bytes the journal claimed durable have rotted; recovery raises
+   :class:`~repro.errors.JournalCorruptError` instead of resurrecting a
+   torn prefix as committed state.
+3. **Replay** the committed images into the data file in page order
+   (idempotent: images carry their intended CRC, and rewriting the same
+   bytes is a no-op at the byte level), fsync it, then reset the
+   journal to an empty header.
+
+Recovery of a recovered file is a no-op by construction: step 3 leaves
+the journal with no entries, so the next open skips recovery entirely
+and the on-disk bytes are untouched.
+
+Every step runs through the owning file's fault hooks (crash points and
+I/O charging), so the crash harness can kill recovery *itself* at any
+boundary and assert that recovering again converges to the same bytes.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.errors import JournalCorruptError, StorageError
+from repro.obs import names
+from repro.obs.metrics import get_registry
+from repro.storage import journal as wal
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.storage.pagedfile import PagedFile
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery pass found and did."""
+
+    file: str
+    records_scanned: int
+    commits_applied: int
+    pages_replayed: int
+    tail_truncated_bytes: int
+
+    def is_noop(self) -> bool:
+        """True when the journal was already empty — nothing changed."""
+        return self.records_scanned == 0 and self.tail_truncated_bytes == 0
+
+
+def _intact_record_after(raw: bytes, offset: int) -> bool:
+    """Whether any *parseable* record starts at or after ``offset``.
+
+    Used to tell interior corruption from a torn tail: a torn tail is
+    garbage to the end of the file, while rot inside the durable prefix
+    is followed by records that still frame and checksum correctly.  A
+    false positive needs magic bytes, a consistent length *and* a
+    matching CRC32 to line up inside arbitrary page data — negligible.
+    """
+    position = raw.find(wal.RECORD_MAGIC_BYTES, offset)
+    while position != -1:
+        end = position + wal.RECORD.size
+        if end <= len(raw):
+            _magic, length, crc = wal.RECORD.unpack(raw[position:end])
+            payload = raw[end:end + length]
+            if len(payload) == length and zlib.crc32(payload) == crc:
+                return True
+        position = raw.find(wal.RECORD_MAGIC_BYTES, position + 1)
+    return False
+
+
+def scan_journal(raw: bytes, *, path: str, page_size: int
+                 ) -> Tuple[Dict[int, Tuple[bytes, int]], int, int, int]:
+    """Parse journal bytes into committed page images.
+
+    Returns ``(committed, records_scanned, commits, tail_bytes)`` where
+    ``committed`` maps page id to ``(payload, intended CRC)`` for every
+    image covered by a commit marker, and ``tail_bytes`` counts torn
+    trailing bytes the caller should consider truncated.
+
+    Raises :class:`JournalCorruptError` on interior corruption and
+    :class:`StorageError` on a bad header.
+    """
+    if len(raw) < wal.HEADER.size:
+        raise StorageError(
+            f"{path}: journal shorter than its header ({len(raw)} bytes)")
+    magic, version, journal_page_size = wal.HEADER.unpack(
+        raw[:wal.HEADER.size])
+    if magic != wal.HEADER_MAGIC:
+        raise StorageError(f"{path}: not a journal file")
+    if version != wal.FORMAT_VERSION:
+        raise StorageError(
+            f"{path}: unsupported journal format version {version} "
+            f"(expected {wal.FORMAT_VERSION})")
+    if journal_page_size != page_size:
+        raise StorageError(
+            f"{path}: journal page size {journal_page_size} does not "
+            f"match file page size {page_size}")
+
+    committed: Dict[int, Tuple[bytes, int]] = {}
+    pending: Dict[int, Tuple[bytes, int]] = {}
+    records = 0
+    commits = 0
+    offset = wal.HEADER.size
+
+    def corrupt_or_torn(why: str, at: int) -> int:
+        """Interior corruption raises; a torn tail returns its length."""
+        if _intact_record_after(raw, at + 1):
+            raise JournalCorruptError(
+                f"{path}: corrupt journal record at byte {at} ({why}) "
+                f"with intact records after it; refusing to replay")
+        return len(raw) - at
+
+    while offset < len(raw):
+        if len(raw) - offset < wal.RECORD.size:
+            return committed, records, commits, len(raw) - offset
+        frame_magic, length, frame_crc = wal.RECORD.unpack(
+            raw[offset:offset + wal.RECORD.size])
+        if frame_magic != wal.RECORD_MAGIC:
+            return (committed, records, commits,
+                    corrupt_or_torn("bad record magic", offset))
+        body_start = offset + wal.RECORD.size
+        payload = raw[body_start:body_start + length]
+        if len(payload) < length:
+            return (committed, records, commits,
+                    corrupt_or_torn("short payload", offset))
+        if zlib.crc32(payload) != frame_crc:
+            return (committed, records, commits,
+                    corrupt_or_torn("payload CRC mismatch", offset))
+        if not payload:
+            raise JournalCorruptError(
+                f"{path}: empty journal record at byte {offset}")
+        kind = payload[0]
+        if kind == wal.KIND_PAGE_IMAGE:
+            if length != wal.PAGE_IMAGE.size + page_size:
+                raise JournalCorruptError(
+                    f"{path}: page-image record at byte {offset} has "
+                    f"payload {length}, expected "
+                    f"{wal.PAGE_IMAGE.size + page_size}")
+            _kind, page_id, page_crc = wal.PAGE_IMAGE.unpack(
+                payload[:wal.PAGE_IMAGE.size])
+            pending[page_id] = (payload[wal.PAGE_IMAGE.size:], page_crc)
+        elif kind == wal.KIND_COMMIT:
+            if length != wal.COMMIT.size:
+                raise JournalCorruptError(
+                    f"{path}: commit record at byte {offset} has "
+                    f"payload {length}, expected {wal.COMMIT.size}")
+            committed.update(pending)
+            pending.clear()
+            commits += 1
+        else:
+            raise JournalCorruptError(
+                f"{path}: unknown journal record kind {kind} at byte "
+                f"{offset}")
+        records += 1
+        offset = body_start + length
+    return committed, records, commits, 0
+
+
+def recover(pfile: "PagedFile") -> RecoveryReport:
+    """Replay ``pfile``'s journal; returns what was done.
+
+    Idempotent: replaying the same committed images writes the same
+    bytes, and the final journal reset makes the *next* recovery skip
+    straight to a no-op.  All replay writes are charged to the disk
+    model (they are real page writes — the WAL's write amplification)
+    and pass the installed fault injector's crash points, so a crash
+    mid-recovery is just another recoverable state.
+    """
+    journal = pfile.journal
+    if journal is None:
+        raise StorageError(f"{pfile.name}: no journal to recover")
+    with open(journal.path, "rb") as fh:
+        raw = fh.read()
+    committed, records, commits, tail_bytes = scan_journal(
+        raw, path=journal.path, page_size=pfile.page_size)
+
+    faults = pfile.faults
+    if faults is not None:
+        faults.crash_point(f"recovery-scan:{pfile.name}")
+    for page_id in sorted(committed):
+        data, page_crc = committed[page_id]
+        if faults is not None:
+            faults.crash_point(f"recovery-write:{pfile.name}:{page_id}")
+        pfile.replay_page(page_id, data, page_crc)
+    if committed:
+        if faults is not None:
+            faults.crash_point(f"recovery-data-sync:{pfile.name}")
+        pfile.sync_data()
+    if records or tail_bytes or journal.has_entries:
+        if faults is not None:
+            faults.crash_point(f"recovery-journal-reset:{pfile.name}")
+        journal.reset()
+
+    # Lazily created so recoveries that find nothing register no series.
+    if committed:
+        get_registry().counter(names.RECOVERY_PAGES_REPLAYED,
+                               file=pfile.name).inc(len(committed))
+    if tail_bytes:
+        get_registry().counter(names.RECOVERY_TAIL_TRUNCATIONS,
+                               file=pfile.name).inc()
+    return RecoveryReport(file=pfile.name, records_scanned=records,
+                          commits_applied=commits,
+                          pages_replayed=len(committed),
+                          tail_truncated_bytes=tail_bytes)
+
+
+__all__ = ["RecoveryReport", "recover", "scan_journal"]

@@ -18,12 +18,14 @@ internals to the caller.
 from __future__ import annotations
 
 import hashlib
+import io
 import zipfile
 from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import VisibilityError
+from repro.storage.atomic import atomic_write_bytes
 from repro.visibility.dov import CellVisibility, VisibilityTable
 
 #: Identifies a file as ours before any other field is trusted.
@@ -56,10 +58,18 @@ def _table_arrays(table: VisibilityTable
 
 
 def save_visibility(table: VisibilityTable, path: str) -> None:
-    """Write ``table`` to ``path`` (``.npz``)."""
+    """Write ``table`` to ``path`` (``.npz``), atomically.
+
+    The archive is assembled in memory and lands via temp file + fsync
+    + rename (:func:`~repro.storage.atomic.atomic_write_bytes`): hours
+    of precompute must never be replaced by a half-written zip.  Keeps
+    ``np.savez``'s convention of appending ``.npz`` to extension-less
+    paths, so the on-disk name is unchanged from the in-place writer.
+    """
     cell_ids, object_ids, dovs = _table_arrays(table)
+    buffer = io.BytesIO()
     np.savez_compressed(
-        path,
+        buffer,
         magic=np.asarray(MAGIC),
         version=np.int64(FORMAT_VERSION),
         num_cells=np.int64(table.num_cells),
@@ -67,6 +77,9 @@ def save_visibility(table: VisibilityTable, path: str) -> None:
         object_ids=object_ids,
         dovs=dovs,
     )
+    if not path.endswith(".npz"):
+        path = path + ".npz"
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def visibility_digest(table: VisibilityTable) -> str:

@@ -32,6 +32,10 @@ def test_chaos_survives_and_degrades():
     # Degrading costs fidelity, never gains it.
     fidelity = report["fidelity"]
     assert fidelity["faulted"] <= fidelity["clean"]
+    # The invariants block is what the CLI turns into an exit code.
+    assert report["invariants"] == {"completed": True,
+                                    "fidelity_not_improved": True,
+                                    "ok": True}
 
 
 def test_chaos_same_seed_identical_report():

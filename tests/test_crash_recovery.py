@@ -1,0 +1,97 @@
+"""Crash-matrix harness tests: determinism, atomicity, idempotence.
+
+The harness itself is the property suite — it enumerates every I/O
+boundary of the workload (and of recovery) and checks the atomicity
+and idempotence invariants at each one.  These tests run it at a small
+scale, assert it found no violations, and pin down the properties the
+CI crash job relies on: byte-identical reports for a fixed seed, full
+boundary coverage, a nonzero nested recovery sweep, and the
+precompute-cache torn-tail contract.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs.crash import run_crash_sweep
+
+#: Small but complete: two transactions (one checkpoints), two writes
+#: each, plus the cache sweep — every boundary kind still appears.
+SMALL = dict(seed=0, pages=4, page_size=64, txns=2, writes_per_txn=2,
+             cache_cells=3, cache_stride=11)
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return run_crash_sweep(**SMALL)
+
+
+def test_sweep_finds_no_violations(sweep):
+    assert sweep["violations"] == []
+    assert sweep["summary"]["ok"] is True
+    assert sweep["summary"]["points"] == sweep["crash"]["boundaries"] > 0
+    assert sweep["summary"]["recovery_points"] > 0
+    assert sweep["summary"]["cache_points"] > 0
+
+
+def test_sweep_report_is_byte_deterministic():
+    first = json.dumps(run_crash_sweep(**SMALL), indent=2, sort_keys=True)
+    second = json.dumps(run_crash_sweep(**SMALL), indent=2, sort_keys=True)
+    assert first == second
+
+
+def test_sweep_enumerates_every_boundary_kind(sweep):
+    kinds = {label.split(":", 1)[0] for label in sweep["crash"]["labels"]}
+    assert kinds == {"read", "write", "journal-commit", "journal-sync",
+                     "checkpoint-write", "data-sync", "journal-reset"}
+
+
+def test_every_point_is_atomic_and_idempotent(sweep):
+    assert len(sweep["sweep"]) == sweep["crash"]["boundaries"]
+    for entry in sweep["sweep"]:
+        assert entry["atomic"], entry
+        assert entry["idempotent"], entry
+        assert entry["recovery_crash"]["converged"], entry
+        # Recovered state never regresses below the durable commits...
+        assert entry["recovered_state"] >= entry["durable_commits"]
+        # ...and never invents a commit whose marker was never appended.
+        assert entry["recovered_state"] <= entry["appended_commits"]
+
+
+def test_recovery_replay_and_truncation_both_exercised(sweep):
+    assert any(e["pages_replayed"] > 0 for e in sweep["sweep"])
+    assert any(e["tail_truncated_bytes"] > 0 for e in sweep["sweep"])
+    metrics = sweep["metrics"]
+    assert metrics["recovery_pages_replayed_total"] > 0
+    assert metrics["recovery_tail_truncations_total"] > 0
+    assert metrics["journal_records_total"] > 0
+    assert metrics["journal_commits_total"] > 0
+    # One crash per sweep point plus one per nested recovery point.
+    assert metrics["crashes_injected_total"] == \
+        sweep["summary"]["points"] + sweep["summary"]["recovery_points"]
+
+
+def test_cache_torn_tail_sweep(sweep):
+    cache = sweep["cache"]
+    assert cache["ok"] is True
+    assert cache["cells"] == SMALL["cache_cells"]
+    # Interior truncation points exist, so torn tails were observed.
+    assert cache["torn_tails"] > 0
+
+
+def test_cli_crash_writes_report_and_exits_zero(tmp_path, capsys):
+    out = str(tmp_path / "crash.json")
+    code = main(["crash", "--seed", "1", "--pages", "4", "--page-size",
+                 "64", "--txns", "2", "--writes", "2", "--cache-cells",
+                 "3", "--cache-stride", "11", "--output", out])
+    assert code == 0
+    report = json.load(open(out))
+    assert report["summary"]["ok"] is True
+    assert "wrote" in capsys.readouterr().out
+
+
+def test_different_seed_different_payloads_same_invariants():
+    other = run_crash_sweep(**dict(SMALL, seed=9))
+    assert other["summary"]["ok"] is True
+    assert other["crash"]["seed"] == 9

@@ -35,9 +35,9 @@ REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 def test_lattice_shape():
     assert LATTICE == ("serving.scheduler", "bufferpool", "pagedfile",
-                       "obs.registry")
+                       "journal", "obs.registry")
     assert BLOCKING_ALLOWED <= set(LATTICE)
-    assert [level_index(level) for level in LATTICE] == [0, 1, 2, 3]
+    assert [level_index(level) for level in LATTICE] == [0, 1, 2, 3, 4]
     with pytest.raises(ValueError):
         level_index("not-a-level")
 

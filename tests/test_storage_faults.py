@@ -327,3 +327,95 @@ def test_happy_path_registers_no_resilience_series():
                        names.PAGES_CORRUPT):
             assert registry.value(metric, file=pf.name) == 0.0
             assert not registry.series(metric)
+
+
+# -- deterministic crash points (PR 8) ---------------------------------------
+
+
+def test_crash_after_ops_counts_boundaries_and_raises():
+    from repro.errors import SimulatedCrash
+
+    with use_registry(MetricsRegistry()) as registry:
+        pf = make_file()
+        pid = pf.append_page(b"payload")
+        injector = FaultInjector(seed=0)          # plan-less: crash-only
+        injector.install(pf)
+        injector.crash_after_ops(3)
+        pf.read_page(pid)
+        pf.read_page(pid)
+        with pytest.raises(SimulatedCrash, match="boundary 3"):
+            pf.read_page(pid)
+        assert injector.crash_trace == [f"read:{pf.name}"] * 3
+        assert injector.injected == {"crash": 1}
+        assert registry.value(names.CRASHES_INJECTED) == 1
+        injector.uninstall()
+
+
+def test_crash_point_is_inert_until_armed():
+    with use_registry(MetricsRegistry()) as registry:
+        pf = make_file()
+        pid = pf.append_page(b"payload")
+        injector = FaultInjector(seed=0)
+        injector.install(pf)
+        for _ in range(10):
+            pf.read_page(pid)
+        assert injector.crash_trace == []
+        assert injector.total_injected() == 0
+        assert not registry.series(names.CRASHES_INJECTED)
+        injector.crash_after_ops(5)
+        injector.crash_after_ops(None)            # disarm again
+        pf.read_page(pid)
+        assert injector.crash_trace == []
+        injector.uninstall()
+
+
+def test_crash_after_ops_validation():
+    injector = FaultInjector(seed=0)
+    with pytest.raises(StorageError):
+        injector.crash_after_ops(0)
+    with pytest.raises(StorageError):
+        injector.crash_after_ops(-2)
+
+
+def test_simulated_crash_is_not_retried():
+    """A crash is terminal by design: the retry layer must let it
+    propagate instead of burning attempts against a dead process."""
+    from repro.errors import SimulatedCrash
+
+    with use_registry(MetricsRegistry()) as registry:
+        pf = make_file()
+        pid = pf.append_page(b"payload")
+        injector = FaultInjector(seed=0)
+        injector.install(pf)
+        injector.crash_after_ops(1)
+        with pytest.raises(SimulatedCrash):
+            pageio.read_page(pf, pid, component="test")
+        assert not isinstance(SimulatedCrash("x"), TransientIOError)
+        assert registry.value(names.PAGEIO_RETRIES, file=pf.name) == 0
+        injector.uninstall()
+
+
+def test_crash_countdown_consumes_no_rng():
+    """Arming the countdown must not perturb the plan's fault sequence:
+    two injectors with the same plan and seed, one armed far beyond the
+    workload, inject identical faults."""
+    def run(arm):
+        with use_registry(MetricsRegistry()):
+            pf = make_file()
+            pid = pf.append_page(b"payload")
+            injector = FaultInjector(
+                plan(FaultRule("read-error", rate=0.5)), seed=42)
+            if arm:
+                injector.crash_after_ops(10 ** 9)
+            injector.install(pf)
+            hits = []
+            for _ in range(20):
+                try:
+                    pf.read_page(pid)
+                    hits.append(0)
+                except TransientIOError:
+                    hits.append(1)
+            injector.uninstall()
+            return hits
+
+    assert run(arm=False) == run(arm=True)
