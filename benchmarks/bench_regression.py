@@ -57,6 +57,22 @@ TRACKED: Tuple[Tuple[str, str, str], ...] = (
      "traffic: frames served at 200 sessions/s"),
     ("BENCH_traffic.json", "loads.25.requests",
      "traffic: requests handled at 25 sessions/s"),
+    # Layout metrics are pure functions of (scale, session, eta): the
+    # back-seek ratio of the rewrite and the V-page byte ratio of the
+    # packed delta codec, both higher-is-better.
+    ("BENCH_layout.json", "schemes.vertical.back_seek_improvement",
+     "layout: back-seek improvement, vertical"),
+    ("BENCH_layout.json",
+     "schemes.indexed-vertical.back_seek_improvement",
+     "layout: back-seek improvement, indexed-vertical"),
+    ("BENCH_layout.json", "schemes.vertical.light_bytes_improvement",
+     "layout: V-page byte improvement, vertical"),
+    ("BENCH_layout.json",
+     "schemes.indexed-vertical.light_bytes_improvement",
+     "layout: V-page byte improvement, indexed-vertical"),
+    ("BENCH_layout.json",
+     "schemes.vertical.compression_inverse_ratio",
+     "layout: packed stream compression, vertical"),
 )
 
 

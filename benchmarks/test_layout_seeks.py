@@ -1,0 +1,111 @@
+"""Bench: seek-optimal layout rewrite + delta-compressed V-pages.
+
+Runs the four-variant layout measurement (baseline, rewritten,
+compressed, compressed+rewritten) over the loop walkthrough on the
+SMALL scale and emits ``BENCH_layout.json`` with the machine-free
+improvement ratios the regression gate tracks:
+
+* ``back_seek_improvement`` — baseline back seeks / rewritten back
+  seeks per scheme (> 1: the rewrite removed backward head travel);
+* ``light_bytes_improvement`` — baseline V-page bytes / compressed
+  V-page bytes (> 1: the packed stream reads strictly less);
+* ``compression_inverse_ratio`` — raw page bytes / encoded stream
+  bytes of the packed codec.
+
+The structural guarantees are asserted here too: identical selection
+digests across all four variants, exactly equal heavy (model) I/O, and
+a byte-identical report across two runs — every number is a pure
+function of (scale, session, eta), no wall clock anywhere.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.layout import run_layout
+
+OUTPUT = "BENCH_layout.json"
+SCHEMES = ("vertical", "indexed-vertical")
+
+
+def test_layout_seeks(capsys):
+    first = run_layout(scale="small")
+    second = run_layout(scale="small")
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(second, sort_keys=True), \
+        "layout report is not byte-deterministic"
+    assert first["ok"], {name: sr["checks"]
+                         for name, sr in first["schemes"].items()}
+
+    schemes = {}
+    for name in SCHEMES:
+        scheme_report = first["schemes"][name]
+        base = scheme_report["baseline"]
+        rewritten = scheme_report["rewritten"]
+        compressed = scheme_report["compressed"]
+
+        digests = {scheme_report[v]["selection_digest"]
+                   for v in ("baseline", "rewritten", "compressed",
+                             "compressed_rewritten")}
+        assert len(digests) == 1, f"{name}: selections diverged"
+        assert compressed["heavy"]["bytes_read"] \
+            == base["heavy"]["bytes_read"], \
+            f"{name}: heavy I/O changed under compression"
+
+        back_before = base["light"]["back_seeks"]
+        back_after = rewritten["light"]["back_seeks"]
+        assert back_after < back_before, \
+            f"{name}: rewrite did not cut back seeks"
+        light_before = base["light"]["bytes_read"]
+        light_after = compressed["light"]["bytes_read"]
+        assert light_after < light_before, \
+            f"{name}: compression did not cut V-page bytes"
+
+        compression = compressed["compression"]
+        schemes[name] = {
+            "back_seeks_baseline": back_before,
+            "back_seeks_rewritten": back_after,
+            # max(1, ...) keeps the ratio finite if a future layout
+            # reaches zero back seeks (the best possible outcome).
+            "back_seek_improvement": round(
+                back_before / max(back_after, 1), 4),
+            "light_bytes_baseline": light_before,
+            "light_bytes_compressed": light_after,
+            "light_bytes_improvement": round(
+                light_before / light_after, 4),
+            "compression_inverse_ratio": round(
+                compression["raw_bytes"] / compression["encoded_bytes"],
+                4),
+            "delta_records": compression["delta_records"],
+            "records": compression["records"],
+            "pages_moved": scheme_report["rewritten"]["rewrite"]
+                ["pages_moved"],
+            "selection_digest": base["selection_digest"],
+        }
+
+    report = {
+        "scale": first["layout"]["scale"],
+        "session": first["layout"]["session"],
+        "eta": first["layout"]["eta"],
+        "frames": first["layout"]["frames"],
+        "cells": first["layout"]["cells"],
+        "visibility_digest": first["visibility_digest"],
+        "schemes": schemes,
+    }
+    with open(OUTPUT, "w") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+    with capsys.disabled():
+        print()
+        print("layout rewrite + compression "
+              f"({report['session']}, {report['frames']} frames):")
+        for name, row in schemes.items():
+            print(f"  {name}: back seeks "
+                  f"{row['back_seeks_baseline']} -> "
+                  f"{row['back_seeks_rewritten']} "
+                  f"({row['back_seek_improvement']}x), V-page bytes "
+                  f"{row['light_bytes_baseline']} -> "
+                  f"{row['light_bytes_compressed']} "
+                  f"({row['light_bytes_improvement']}x), stream "
+                  f"{row['compression_inverse_ratio']}x smaller")

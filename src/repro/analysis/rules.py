@@ -1,4 +1,4 @@
-"""The repo-specific lint rules (``RPR001``–``RPR009``).
+"""The repo-specific lint rules (``RPR001``–``RPR009``, ``RPR014``).
 
 Each rule encodes an invariant that a past bug (PR 1's I/O-accounting
 fixes) or a structural decision (the observability layer) established,
@@ -70,6 +70,16 @@ HTTP_TIMING_MODULE = "repro.serving.http.middleware"
 CLOCK_FUNCTIONS = frozenset({
     "time", "time_ns", "perf_counter", "perf_counter_ns",
     "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+})
+
+#: The raw V-page byte codecs (RPR014): only the codec module — and the
+#: serializer that owns the byte layout — may call them.
+VPAGE_CODEC_FUNCTIONS = frozenset({"encode_vpage", "decode_vpage"})
+
+#: Modules allowed to touch the raw V-page byte layout (RPR014).
+VPAGE_CODEC_MODULES = frozenset({
+    "repro.storage.vpagecodec",
+    "repro.storage.serializer",
 })
 
 
@@ -637,6 +647,54 @@ class TypingRatchetRule(ModuleRule):
                     _dotted(node) in {"typing." + node.attr,
                                       "t." + node.attr}:
                 yield node
+
+
+@register
+class VPageCodecBoundaryRule(ModuleRule):
+    """RPR014: V-page bytes are decoded only inside the codec module.
+
+    PR 9 made the V-page byte layout *versioned* (raw pages vs the
+    packed delta stream).  A direct ``encode_vpage``/``decode_vpage``
+    call outside :mod:`repro.storage.vpagecodec` hard-codes the raw
+    layout: it reads garbage the moment the environment is built with
+    the packed codec, and it bypasses the codec's corruption checks
+    (CRC, version byte, bounds).  Schemes and tools must go through a
+    :class:`VPageCodec`; only the codec module and the serializer that
+    owns the raw byte format may call the raw functions.
+    """
+
+    code = "RPR014"
+    name = "vpage-codec-boundary"
+    summary = ("encode_vpage/decode_vpage may only be called (or "
+               "imported) inside repro.storage.vpagecodec and "
+               "repro.storage.serializer; go through a VPageCodec")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Diagnostic]:
+        if ctx.module in VPAGE_CODEC_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom):
+                for alias in node.names:
+                    if alias.name in VPAGE_CODEC_FUNCTIONS:
+                        yield ctx.diagnostic(
+                            self, node,
+                            f"import of {alias.name} outside the V-page "
+                            f"codec module hard-codes the raw byte "
+                            f"layout; read/write V-pages through a "
+                            f"repro.storage.vpagecodec.VPageCodec")
+            elif isinstance(node, ast.Call):
+                name = None
+                if isinstance(node.func, ast.Name):
+                    name = node.func.id
+                elif isinstance(node.func, ast.Attribute):
+                    name = node.func.attr
+                if name in VPAGE_CODEC_FUNCTIONS:
+                    yield ctx.diagnostic(
+                        self, node,
+                        f"direct {name}() call outside the V-page codec "
+                        f"module; V-page bytes are versioned — decode "
+                        f"them through the scheme's VPageCodec so the "
+                        f"packed layout and its corruption checks apply")
 
 
 @register

@@ -8,6 +8,7 @@ Usage::
     python -m repro run all --scale small
     python -m repro profile [--scale small] [--session 1] [--eta 0.001]
     python -m repro chaos [--plan aggressive] [--seed 0] [--list-plans]
+    python -m repro layout [--scale small] [--session 4] [--output FILE]
     python -m repro crash [--seed 0] [--txns 5] [--output FILE]
     python -m repro precompute [--workers 4] [--cache-dir DIR] [--resume]
     python -m repro serve [--sessions 8] [--workers 4] [--seed 7]
@@ -118,7 +119,7 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=["small", "medium", "large"],
                          help="environment scale (default: small)")
     profile.add_argument("--session", type=int, default=1,
-                         choices=[1, 2, 3],
+                         choices=[1, 2, 3, 4],
                          help="motion pattern (default: 1, normal walk)")
     profile.add_argument("--eta", type=float, default=0.001,
                          help="DoV threshold (default: 0.001)")
@@ -126,6 +127,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="frame count (default: the scale's)")
     profile.add_argument("--scheme", default=None,
                          help="storage scheme (default: the scale's)")
+    profile.add_argument("--compress", action="store_true",
+                         help="build with the packed delta V-page codec")
     profile.add_argument("--spans", action="store_true",
                          help="embed the full span list in the report")
     profile.add_argument("--output", default=None, metavar="FILE",
@@ -138,7 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["small", "medium", "large"],
                        help="environment scale (default: small)")
     chaos.add_argument("--session", type=int, default=1,
-                       choices=[1, 2, 3],
+                       choices=[1, 2, 3, 4],
                        help="motion pattern (default: 1, normal walk)")
     chaos.add_argument("--eta", type=float, default=0.001,
                        help="DoV threshold (default: 0.001)")
@@ -146,6 +149,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="frame count (default: the scale's)")
     chaos.add_argument("--scheme", default=None,
                        help="storage scheme (default: the scale's)")
+    chaos.add_argument("--compress", action="store_true",
+                       help="build with the packed delta V-page codec "
+                            "(faults then hit compressed records too)")
     chaos.add_argument("--plan", default="aggressive",
                        help="fault plan name (default: aggressive; "
                             "see --list-plans)")
@@ -156,6 +162,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the report to FILE (default: stdout)")
     chaos.add_argument("--list-plans", action="store_true",
                        help="list the built-in fault plans and exit")
+
+    layout = sub.add_parser(
+        "layout",
+        help="rewrite the V-page disk layout along the walkthrough tour "
+             "and report before/after seeks and compression")
+    layout.add_argument("--scale", default="small",
+                        choices=["small", "medium", "large"],
+                        help="environment scale (default: small)")
+    layout.add_argument("--session", type=int, default=4,
+                        choices=[1, 2, 3, 4],
+                        help="motion pattern (default: 4, the loop "
+                             "circuit the rewriter targets)")
+    layout.add_argument("--eta", type=float, default=0.001,
+                        help="DoV threshold (default: 0.001)")
+    layout.add_argument("--frames", type=int, default=None,
+                        help="frame count (default: the scale's)")
+    layout.add_argument("--schemes", nargs="+", metavar="SCHEME",
+                        default=None,
+                        help="schemes to rewrite (default: vertical and "
+                             "indexed-vertical)")
+    layout.add_argument("--output", default=None, metavar="FILE",
+                        help="write the report to FILE (default: stdout)")
 
     crash = sub.add_parser(
         "crash",
@@ -368,7 +396,8 @@ def cmd_profile(args) -> int:
 
     report = run_profile(scale=args.scale, session=args.session,
                          eta=args.eta, frames=args.frames,
-                         scheme=args.scheme, include_spans=args.spans)
+                         scheme=args.scheme, compress=args.compress,
+                         include_spans=args.spans)
     text = json.dumps(report, indent=2, sort_keys=False)
     if args.output is not None:
         with open(args.output, "w") as fh:
@@ -397,7 +426,7 @@ def cmd_chaos(args) -> int:
         report = run_chaos(scale=args.scale, session=args.session,
                            eta=args.eta, frames=args.frames,
                            scheme=args.scheme, plan=args.plan,
-                           seed=args.seed)
+                           seed=args.seed, compress=args.compress)
     except StorageError as exc:
         # An unknown plan name is a usage error, not a crash.
         print(f"repro chaos: {exc}", file=sys.stderr)
@@ -415,6 +444,33 @@ def cmd_chaos(args) -> int:
     # Nonzero on any violated invariant — not just an aborted replay; a
     # completed run whose accounting is inconsistent must fail CI too.
     return 0 if report["invariants"]["ok"] else 1
+
+
+def cmd_layout(args) -> int:
+    from repro.errors import ReproError
+    from repro.obs.layout import DEFAULT_SCHEMES, run_layout
+
+    schemes = tuple(args.schemes) if args.schemes else DEFAULT_SCHEMES
+    try:
+        report = run_layout(scale=args.scale, session=args.session,
+                            eta=args.eta, frames=args.frames,
+                            schemes=schemes)
+    except ReproError as exc:
+        # An unsupported scheme name is a usage error, not a crash.
+        print(f"repro layout: {exc}", file=sys.stderr)
+        return 2
+    text = json.dumps(report, indent=2, sort_keys=False)
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(text + "\n")
+        back = {name: (sr["baseline"]["light"]["back_seeks"],
+                       sr["rewritten"]["light"]["back_seeks"])
+                for name, sr in report["schemes"].items()}
+        print(f"wrote {args.output} (ok={report['ok']}, "
+              f"back_seeks before/after: {back})")
+    else:
+        print(text)
+    return 0 if report["ok"] else 1
 
 
 def cmd_crash(args) -> int:
@@ -684,6 +740,8 @@ def main(argv=None) -> int:
         return cmd_profile(args)
     if args.command == "chaos":
         return cmd_chaos(args)
+    if args.command == "layout":
+        return cmd_layout(args)
     if args.command == "crash":
         return cmd_crash(args)
     if args.command == "precompute":

@@ -37,6 +37,7 @@ from repro.simplify.lod_chain import LODChain
 from repro.storage.disk import DiskModel, IOStats
 from repro.storage.objectstore import ObjectStore
 from repro.storage.pagedfile import PagedFile
+from repro.storage.vpagecodec import PackedDeltaVPageCodec, VPageCodec
 from repro.visibility.cells import CellGrid
 from repro.visibility.dov import VisibilityTable
 from repro.visibility.precompute import precompute_visibility
@@ -68,6 +69,11 @@ class HDoVConfig:
     #: Storage schemes to build ("horizontal", "vertical",
     #: "indexed-vertical").
     schemes: Sequence[str] = ("indexed-vertical",)
+    #: Store V-pages in the packed delta-compressed stream instead of
+    #: one page per record.  Applies to the vertical and
+    #: indexed-vertical schemes; the horizontal scheme's closed-form
+    #: page addressing requires the raw layout and ignores the flag.
+    compress_vpages: bool = False
 
     def disk(self) -> DiskModel:
         return DiskModel(seek_ms=self.seek_ms, transfer_ms=self.transfer_ms)
@@ -242,7 +248,13 @@ def build_environment(scene: Scene, grid: CellGrid,
             index_file = PagedFile(f"vindex-{name}",
                                    page_size=config.page_size, disk=disk,
                                    stats=light_stats)
-            scheme = cls(vpage_file, index_file)
+            codec: Optional[VPageCodec] = None
+            if config.compress_vpages:
+                codec = PackedDeltaVPageCodec(
+                    config.page_size,
+                    {cid: grid.neighbors(cid) for cid in grid.cell_ids()},
+                    scheme=name)
+            scheme = cls(vpage_file, index_file, codec=codec)
         scheme.build(num_nodes, cell_vpages)
         schemes[name] = scheme
 

@@ -17,7 +17,7 @@ from __future__ import annotations
 import abc
 import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
@@ -26,6 +26,7 @@ from repro.obs.metrics import get_registry
 from repro.storage import pageio
 from repro.storage.buffer import BufferPool
 from repro.storage.pagedfile import PagedFile
+from repro.storage.vpagecodec import RawVPageCodec, VPageCodec
 
 
 @dataclass(frozen=True)
@@ -46,6 +47,15 @@ class StorageBreakdown:
         return self.total_bytes / (1024.0 * 1024.0)
 
 
+#: Read-through page cache capacity for packed V-page streams.  Small
+#: and FIFO by insertion so replays are deterministic: consecutive
+#: records on one page charge one page read, and a delta record whose
+#: reference sits on the previous page does not thrash.  Irrelevant for
+#: the raw codec, whose one-record-per-page reads are *deliberately*
+#: uncached — the seed accounting (every ``ventries`` call pays its
+#: page read) must stay byte-identical.
+PACKED_READ_CACHE_PAGES = 4
+
 #: Default cap on the warm prefetch buffer: one cell ahead plus one
 #: stale entry about to be evicted.  A warm entry for a cell the viewer
 #: never flips to must not be kept forever (the serving path never
@@ -61,12 +71,21 @@ class StorageScheme(abc.ABC):
 
     def __init__(self, vpage_file: PagedFile,
                  index_file: Optional[PagedFile] = None,
-                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY,
+                 codec: Optional[VPageCodec] = None) -> None:
         if warm_capacity < 1:
             raise SchemeError(
                 f"warm_capacity must be >= 1, got {warm_capacity}")
         self.vpage_file = vpage_file
         self.index_file = index_file
+        #: The versioned V-page codec — the only reader/writer of V-page
+        #: bytes (lint rule RPR014).  Defaults to the raw page-per-record
+        #: codec, which reproduces the seed layout byte for byte.
+        self.codec: VPageCodec = codec if codec is not None \
+            else RawVPageCodec()
+        #: Per-view read-through page cache for packed streams (see
+        #: PACKED_READ_CACHE_PAGES); always empty under the raw codec.
+        self._vpage_read_cache: Dict[int, bytes] = {}
         #: Optional shared page cache (set by the serving layer): when
         #: present, V-page and index reads go through it so concurrent
         #: sessions share hot pages.  ``None`` keeps the sequential
@@ -176,6 +195,7 @@ class StorageScheme(abc.ABC):
         clone.flips = 0
         clone.prefetched_flips = 0
         clone._warm = {}
+        clone._vpage_read_cache = {}
         clone._reset_cell_state()
         return clone
 
@@ -200,6 +220,36 @@ class StorageScheme(abc.ABC):
                                        reader=_scheme_reader)
         return pageio.read_page(self.vpage_file, pointer,
                                 component="schemes")
+
+    def vpage_page(self, page_id: int) -> bytes:
+        """Codec page source (:class:`~repro.storage.vpagecodec.PageReader`).
+
+        Raw codec: a plain accounted read per call, preserving the seed
+        behaviour where every ``ventries`` call pays its page read.
+        Packed codec: a small FIFO read-through cache, so the records
+        sharing one page cost one read and ``bytes_read`` reflects the
+        compressed footprint instead of re-charging per record.
+        """
+        if not self.codec.packed:
+            return self._read_vpage(page_id)
+        cached = self._vpage_read_cache.get(page_id)
+        if cached is not None:
+            return cached
+        data = self._read_vpage(page_id)
+        self._vpage_read_cache[page_id] = data
+        while len(self._vpage_read_cache) > PACKED_READ_CACHE_PAGES:
+            oldest = next(iter(self._vpage_read_cache))
+            del self._vpage_read_cache[oldest]
+        return data
+
+    def _decode_vpage_at(self, pointer: int,
+                         node_offset: int) -> List[VEntry]:
+        """Read and decode one V-page through the codec, checking that
+        the stored node offset matches the requested one."""
+        stored_offset, ventries = self.codec.read(pointer, self)
+        if stored_offset != node_offset:
+            raise SchemeError("V-page node-offset mismatch")
+        return ventries
 
     def _read_index_run(self, first_page: int, count: int) -> bytes:
         """Read ``count`` consecutive index pages as one buffer.
@@ -274,6 +324,36 @@ class StorageScheme(abc.ABC):
         self.vpage_file.reset_head()
         if self.index_file is not None:
             self.index_file.reset_head()
+        # The packed read cache is runtime state too: a cold query must
+        # re-pay its page reads, and the layout replays rely on before/
+        # after runs starting from the same empty cache.
+        self._vpage_read_cache.clear()
+
+    def reset_runtime_state(self) -> None:
+        """Forget *all* runtime state — current cell, loaded segment,
+        warm buffer, file heads, read cache — returning the scheme to
+        its just-built condition.  The layout replays call this between
+        runs so before/after measurements start from identical state."""
+        self.current_cell = None
+        self._reset_cell_state()
+        self.drop_prefetches()
+        self.reset_io_head()
+
+    # -- layout rewriting ------------------------------------------------------
+
+    def cell_pointers(self, cell_id: int) -> List[Tuple[int, int]]:
+        """``(node offset, V-page pointer)`` pairs of one cell, in the
+        cell's on-disk V-page order — the unit the layout rewriter
+        reorders.  Reads the scheme's index structures (charged I/O;
+        callers reset stats around rewrites)."""
+        raise SchemeError(
+            f"{self.name}: scheme does not expose cell pointers")
+
+    def apply_layout(self, remap: Dict[int, int]) -> None:
+        """Rewrite stored V-page pointers through ``remap`` (old -> new)
+        after the V-page file has been physically reordered."""
+        raise SchemeError(
+            f"{self.name}: scheme does not support layout rewriting")
 
     def __repr__(self) -> str:
         return (f"{type(self).__name__}(cell={self.current_cell}, "

@@ -14,7 +14,7 @@ reserves space regardless.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.schemes.base import (DEFAULT_WARM_CAPACITY,
                                      StorageBreakdown, StorageScheme)
@@ -22,7 +22,7 @@ from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
 from repro.storage.pagedfile import PagedFile
-from repro.storage.serializer import decode_vpage, encode_vpage
+from repro.storage.vpagecodec import RawVPageCodec
 
 
 class HorizontalScheme(StorageScheme):
@@ -31,6 +31,9 @@ class HorizontalScheme(StorageScheme):
 
     def __init__(self, vpage_file: PagedFile,
                  warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+        # Always the raw codec: the scheme addresses V-pages by a
+        # closed-form (offset, cell) -> page formula, which a packed
+        # stream has no equivalent for.
         super().__init__(vpage_file, index_file=None,
                          warm_capacity=warm_capacity)
         self.num_nodes = 0
@@ -38,6 +41,14 @@ class HorizontalScheme(StorageScheme):
         self._first_page: Optional[int] = None
         #: entry counts per node offset, to materialise all-zero pages.
         self._entry_counts: Dict[int, int] = {}
+        #: Layout indirection: formula page id -> physical page id.
+        #: Empty until ``apply_layout`` (identity mapping).
+        self._remap: Dict[int, int] = {}
+
+    @property
+    def _raw_codec(self) -> RawVPageCodec:
+        assert isinstance(self.codec, RawVPageCodec)
+        return self.codec
 
     def build(self, num_nodes: int, cells: List[CellVPages]) -> None:
         if self._first_page is not None:
@@ -59,15 +70,16 @@ class HorizontalScheme(StorageScheme):
                 if ventries is None:
                     count = self._entry_counts.get(offset, 0)
                     ventries = [(0.0, 0)] * count
-                payload = encode_vpage(offset, ventries,
-                                       self.vpage_file.page_size)
+                payload = self._raw_codec.encode_page(
+                    offset, ventries, self.vpage_file.page_size)
                 pageio.write_page(self.vpage_file,
                                   self._page_id(offset, cell.cell_id),
                                   payload, component="schemes")
 
     def _page_id(self, node_offset: int, cell_id: int) -> int:
         assert self._first_page is not None
-        return self._first_page + node_offset * self.num_cells + cell_id
+        page = self._first_page + node_offset * self.num_cells + cell_id
+        return self._remap.get(page, page)
 
     def _load_cell(self, cell_id: int) -> None:
         if not 0 <= cell_id < self.num_cells:
@@ -79,7 +91,7 @@ class HorizontalScheme(StorageScheme):
         if not 0 <= node_offset < self.num_nodes:
             raise SchemeError(f"node offset {node_offset} out of range")
         data = self._read_vpage(self._page_id(node_offset, cell_id))
-        stored_offset, ventries = decode_vpage(data)
+        stored_offset, ventries = self._raw_codec.decode_page(data)
         if stored_offset != node_offset:
             raise SchemeError("V-page node-offset mismatch")
         if not any(d > 0.0 for d, _ in ventries):
@@ -97,5 +109,29 @@ class HorizontalScheme(StorageScheme):
 
     def resident_bytes(self) -> int:
         # Stateless: captured cell states are None, so this stays 0
-        # even while cells are warm.
+        # even while cells are warm.  A layout remap adds two ints per
+        # moved page, but only `repro layout` installs one.
         return self.warm_bytes()
+
+    # -- layout ---------------------------------------------------------------
+
+    def cell_pointers(self, cell_id: int) -> List[Tuple[int, int]]:
+        """All ``(node_offset, page)`` pairs of one cell — every node
+        owns a page here, visible or not, straight from the formula."""
+        if not 0 <= cell_id < self.num_cells:
+            raise SchemeError(f"cell {cell_id} out of range")
+        return [(offset, self._page_id(offset, cell_id))
+                for offset in range(self.num_nodes)]
+
+    def apply_layout(self, remap: Dict[int, int]) -> None:
+        """Install a page indirection: the formula keeps addressing the
+        original ids, the remap redirects to the physical pages.  A
+        second rewrite composes with the first."""
+        if self._remap:
+            composed = {page: remap.get(physical, physical)
+                        for page, physical in self._remap.items()}
+            for old, new in remap.items():
+                composed.setdefault(old, new)
+            remap = composed
+        self._remap = {old: new for old, new in remap.items()
+                       if old != new}

@@ -22,8 +22,8 @@ from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
 from repro.storage.pagedfile import PagedFile
-from repro.storage.serializer import (decode_index_pairs, decode_vpage,
-                                      encode_index_pairs, encode_vpage)
+from repro.storage.serializer import decode_index_pairs, encode_index_pairs
+from repro.storage.vpagecodec import VPageCodec
 
 
 class IndexedVerticalScheme(StorageScheme):
@@ -31,9 +31,10 @@ class IndexedVerticalScheme(StorageScheme):
     name = "indexed-vertical"
 
     def __init__(self, vpage_file: PagedFile, index_file: PagedFile,
-                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY,
+                 codec: Optional[VPageCodec] = None) -> None:
         super().__init__(vpage_file, index_file,
-                         warm_capacity=warm_capacity)
+                         warm_capacity=warm_capacity, codec=codec)
         self.num_nodes = 0
         self.num_cells = 0
         #: cell id -> (first index page, page count, pair count).
@@ -54,27 +55,38 @@ class IndexedVerticalScheme(StorageScheme):
         self.num_cells = len(cells)
         if self.num_cells == 0:
             raise SchemeError("no cells to build")
-        pair_size = SIZE_POINTER + SIZE_INTEGER
         for cell in cells:
             pairs: List[Tuple[int, int]] = []
+            self.codec.begin_cell(cell.cell_id)
             for offset in cell.visible_offsets_dfs():
-                payload = encode_vpage(offset, cell.ventries(offset),
-                                       self.vpage_file.page_size)
-                pointer = pageio.append_page(self.vpage_file, payload,
-                                             component="schemes")
+                pointer = self.codec.append(
+                    self.vpage_file, cell.cell_id, offset,
+                    cell.ventries(offset))
                 pairs.append((offset, pointer))
                 self._total_vpages += 1
             self._total_pairs += len(pairs)
-            data = encode_index_pairs(pairs)
-            page_size = self.index_file.page_size
-            num_pages = max(int(math.ceil(len(data) / page_size)), 1)
-            first = self.index_file.allocate_many(num_pages)
-            for i in range(num_pages):
-                pageio.write_page(self.index_file, first + i,
-                                  data[i * page_size:(i + 1) * page_size],
-                                  component="schemes")
-            self._directory[cell.cell_id] = (first, num_pages, len(pairs))
+            self._write_pairs(cell.cell_id, pairs, allocate=True)
+        self.codec.finish(self.vpage_file)
         self._built = True
+
+    def _write_pairs(self, cell_id: int, pairs: List[Tuple[int, int]],
+                     *, allocate: bool) -> None:
+        """Write one cell's pair segment; allocates pages on first build,
+        rewrites the already-allocated pages on layout updates."""
+        assert self.index_file is not None
+        data = encode_index_pairs(pairs)
+        page_size = self.index_file.page_size
+        num_pages = max(int(math.ceil(len(data) / page_size)), 1)
+        if allocate:
+            first = self.index_file.allocate_many(num_pages)
+        else:
+            first, old_pages, _count = self._directory[cell_id]
+            assert old_pages == num_pages
+        for i in range(num_pages):
+            pageio.write_page(self.index_file, first + i,
+                              data[i * page_size:(i + 1) * page_size],
+                              component="schemes")
+        self._directory[cell_id] = (first, num_pages, len(pairs))
 
     # -- runtime ------------------------------------------------------------
 
@@ -110,11 +122,7 @@ class IndexedVerticalScheme(StorageScheme):
         pointer = self._current_pairs.get(node_offset)
         if pointer is None:
             return None
-        data = self._read_vpage(pointer)
-        stored_offset, ventries = decode_vpage(data)
-        if stored_offset != node_offset:
-            raise SchemeError("V-page node-offset mismatch")
-        return ventries
+        return self._decode_vpage_at(pointer, node_offset)
 
     # -- reporting ------------------------------------------------------------
 
@@ -123,9 +131,38 @@ class IndexedVerticalScheme(StorageScheme):
         #   + size_vpage * N_vnode * c
         return StorageBreakdown(
             scheme=self.name,
-            vpage_bytes=self.vpage_file.page_size * self._total_vpages,
+            vpage_bytes=self.codec.storage_vpage_bytes(
+                self.vpage_file.page_size, self._total_vpages),
             index_bytes=(SIZE_POINTER + SIZE_INTEGER) * self._total_pairs,
         )
+
+    # -- layout ---------------------------------------------------------------
+
+    def cell_pointers(self, cell_id: int) -> List[Tuple[int, int]]:
+        """Non-NIL ``(node_offset, pointer)`` pairs from the cell's
+        directory segment, in stored (DFS) order."""
+        entry = self._directory.get(cell_id)
+        if entry is None:
+            raise SchemeError(f"cell {cell_id} out of range")
+        first, num_pages, pair_count = entry
+        data = self._read_index_run(first, num_pages)
+        return decode_index_pairs(data, pair_count)
+
+    def apply_layout(self, remap: Dict[int, int]) -> None:
+        """Rewrite every pair segment in place with remapped pointers.
+
+        Segment sizes are unchanged (same pair counts), so the
+        directory keeps its page spans.
+        """
+        for cell_id in sorted(self._directory):
+            first, num_pages, pair_count = self._directory[cell_id]
+            data = self._read_index_run(first, num_pages)
+            pairs = decode_index_pairs(data, pair_count)
+            remapped = [(offset, remap.get(pointer, pointer))
+                        for offset, pointer in pairs]
+            self._write_pairs(cell_id, remapped, allocate=False)
+        self._current_pairs = {}
+        self.current_cell = None
 
     def resident_bytes(self) -> int:
         return ((SIZE_POINTER + SIZE_INTEGER) * len(self._current_pairs)

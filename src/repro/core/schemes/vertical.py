@@ -20,7 +20,7 @@ Storage cost: ``size_pointer * N_node * c + size_vpage * N_vnode * c``.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.constants import SIZE_POINTER
 from repro.core.schemes.base import (DEFAULT_WARM_CAPACITY,
@@ -29,8 +29,9 @@ from repro.core.vpage import CellVPages, VEntry
 from repro.errors import SchemeError
 from repro.storage import pageio
 from repro.storage.pagedfile import PagedFile
-from repro.storage.serializer import (NIL, decode_pointer_array, decode_vpage,
-                                      encode_pointer_array, encode_vpage)
+from repro.storage.serializer import (NIL, decode_pointer_array,
+                                      encode_pointer_array)
+from repro.storage.vpagecodec import VPageCodec
 
 
 class VerticalScheme(StorageScheme):
@@ -38,9 +39,10 @@ class VerticalScheme(StorageScheme):
     name = "vertical"
 
     def __init__(self, vpage_file: PagedFile, index_file: PagedFile,
-                 warm_capacity: int = DEFAULT_WARM_CAPACITY) -> None:
+                 warm_capacity: int = DEFAULT_WARM_CAPACITY,
+                 codec: Optional[VPageCodec] = None) -> None:
         super().__init__(vpage_file, index_file,
-                         warm_capacity=warm_capacity)
+                         warm_capacity=warm_capacity, codec=codec)
         self.num_nodes = 0
         self.num_cells = 0
         self._segment_pages = 0
@@ -68,13 +70,14 @@ class VerticalScheme(StorageScheme):
         for cell in cells:
             pointers = [NIL] * num_nodes
             # DFS order == offset order; contiguous allocation per cell.
+            self.codec.begin_cell(cell.cell_id)
             for offset in cell.visible_offsets_dfs():
-                payload = encode_vpage(offset, cell.ventries(offset),
-                                       self.vpage_file.page_size)
-                pointers[offset] = pageio.append_page(
-                    self.vpage_file, payload, component="schemes")
+                pointers[offset] = self.codec.append(
+                    self.vpage_file, cell.cell_id, offset,
+                    cell.ventries(offset))
                 self._total_vpages += 1
             self._write_segment(cell.cell_id, pointers)
+        self.codec.finish(self.vpage_file)
 
     def _write_segment(self, cell_id: int, pointers: List[int]) -> None:
         assert self.index_file is not None
@@ -127,11 +130,7 @@ class VerticalScheme(StorageScheme):
         pointer = self._current_segment[node_offset]
         if pointer == NIL:
             return None
-        data = self._read_vpage(pointer)
-        stored_offset, ventries = decode_vpage(data)
-        if stored_offset != node_offset:
-            raise SchemeError("V-page node-offset mismatch")
-        return ventries
+        return self._decode_vpage_at(pointer, node_offset)
 
     # -- reporting ------------------------------------------------------------
 
@@ -139,9 +138,34 @@ class VerticalScheme(StorageScheme):
         # size_pointer * N_node * c + size_vpage * N_vnode * c
         return StorageBreakdown(
             scheme=self.name,
-            vpage_bytes=self.vpage_file.page_size * self._total_vpages,
+            vpage_bytes=self.codec.storage_vpage_bytes(
+                self.vpage_file.page_size, self._total_vpages),
             index_bytes=SIZE_POINTER * self.num_nodes * self.num_cells,
         )
+
+    # -- layout ---------------------------------------------------------------
+
+    def cell_pointers(self, cell_id: int) -> List[Tuple[int, int]]:
+        """Non-NIL ``(node_offset, pointer)`` pairs of one cell's segment."""
+        if not 0 <= cell_id < self.num_cells:
+            raise SchemeError(f"cell {cell_id} out of range")
+        data = self._read_index_run(self._segment_first_page(cell_id),
+                                    self._segment_pages)
+        pointers = decode_pointer_array(data, self.num_nodes)
+        return [(offset, pointer) for offset, pointer in enumerate(pointers)
+                if pointer != NIL]
+
+    def apply_layout(self, remap: Dict[int, int]) -> None:
+        """Rewrite every segment, mapping old V-page pointers to new ones."""
+        for cell_id in range(self.num_cells):
+            data = self._read_index_run(self._segment_first_page(cell_id),
+                                        self._segment_pages)
+            pointers = decode_pointer_array(data, self.num_nodes)
+            remapped = [remap.get(p, p) if p != NIL else NIL
+                        for p in pointers]
+            self._write_segment(cell_id, remapped)
+        self._current_segment = []
+        self.current_cell = None
 
     def resident_bytes(self) -> int:
         return SIZE_POINTER * self.num_nodes + self.warm_bytes()

@@ -159,11 +159,19 @@ def _rewrite_segment(scheme: IndexedVerticalScheme,
     import math
 
     from repro.storage import pageio
-    from repro.storage.serializer import encode_index_pairs, encode_vpage
+    from repro.storage.serializer import encode_index_pairs
+    from repro.storage.vpagecodec import RawVPageCodec
+    if not isinstance(scheme.codec, RawVPageCodec):
+        # The packed stream is append-only per *build*; re-instantiated
+        # cells would need a full stream re-encode (repro layout does
+        # that), so incremental updates require the raw codec.
+        raise HDoVError(
+            f"incremental update needs the raw V-page codec, scheme "
+            f"uses {type(scheme.codec).__name__}")
     pairs = []
     for offset in cell_vp.visible_offsets_dfs():
-        payload = encode_vpage(offset, cell_vp.ventries(offset),
-                               scheme.vpage_file.page_size)
+        payload = scheme.codec.encode_page(offset, cell_vp.ventries(offset),
+                                           scheme.vpage_file.page_size)
         pointer = pageio.append_page(scheme.vpage_file, payload,
                                      component="core")
         pairs.append((offset, pointer))

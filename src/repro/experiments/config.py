@@ -79,7 +79,7 @@ LARGE = _scale("large", blocks=18, cell_size=60.0, resolution=32,
 
 _SCALES: Dict[str, ExperimentScale] = {s.name: s
                                        for s in (SMALL, MEDIUM, LARGE)}
-_ENV_CACHE: Dict[Tuple[str, Tuple[str, ...]], HDoVEnvironment] = {}
+_ENV_CACHE: Dict[Tuple[str, Tuple[str, ...], bool], HDoVEnvironment] = {}
 
 
 def get_scale(name: str) -> ExperimentScale:
@@ -93,19 +93,29 @@ def get_scale(name: str) -> ExperimentScale:
 
 def build_experiment_environment(scale: ExperimentScale,
                                  schemes: Optional[Sequence[str]] = None,
+                                 *, compress_vpages: bool = False,
                                  ) -> HDoVEnvironment:
     """Build (or fetch from cache) the environment for a scale.
 
-    ``schemes`` overrides which storage schemes are laid out; the cache
-    key includes them so Table 2 (all three) and the walkthroughs (one)
-    do not collide.
+    ``schemes`` overrides which storage schemes are laid out;
+    ``compress_vpages`` opts into the packed delta V-page codec.  The
+    cache key includes both so Table 2 (all three schemes) and the
+    walkthroughs (one) — and compressed vs raw runs — do not collide.
+
+    Note for the layout rewriter: cached environments are *shared*;
+    ``repro layout`` builds fresh, uncached environments because a
+    rewrite mutates the V-page files in place.
     """
     scheme_key = tuple(schemes) if schemes is not None else tuple(
         scale.hdov.schemes)
-    key = (scale.name, scheme_key)
+    key = (scale.name, scheme_key, compress_vpages)
     env = _ENV_CACHE.get(key)
     if env is None:
         effective = scale.with_schemes(scheme_key)
+        if compress_vpages:
+            effective = replace(
+                effective,
+                hdov=replace(effective.hdov, compress_vpages=True))
         scene = generate_city(effective.city)
         grid = CellGrid.covering(scene.bounds(), effective.cell_size)
         env = build_environment(scene, grid, effective.hdov)

@@ -50,7 +50,7 @@ def _per_file_values(files: List[PagedFile],
 def run_chaos(*, scale: str = "small", session: int = 1,
               eta: float = 0.001, frames: Optional[int] = None,
               scheme: Optional[str] = None, plan: str = "aggressive",
-              seed: int = 0) -> Dict[str, object]:
+              seed: int = 0, compress: bool = False) -> Dict[str, object]:
     """Replay one session under ``plan``; returns the JSON-ready report.
 
     Parameters
@@ -58,7 +58,8 @@ def run_chaos(*, scale: str = "small", session: int = 1,
     scale:
         Experiment scale name (``small`` / ``medium`` / ``large``).
     session:
-        Motion pattern 1, 2 or 3 (Section 5.4's recorded sessions).
+        Motion pattern 1, 2, 3 or 4 (Section 5.4's recorded sessions
+        plus the loop circuit).
     eta:
         DoV threshold for the VISUAL system.
     frames:
@@ -70,18 +71,27 @@ def run_chaos(*, scale: str = "small", session: int = 1,
         :func:`repro.storage.faults.plan_names`).
     seed:
         Seed for the fault injector's RNG; same seed, same report.
+    compress:
+        Build with the packed delta V-page codec, so injected bit flips
+        and torn writes land on compressed records (which must degrade,
+        never decode garbage).
     """
     # Imported here: repro.experiments pulls in every experiment driver,
     # which the library layers must not depend on at import time.
+    from dataclasses import replace
+
     from repro.experiments.config import get_scale
 
     fault_plan = named_plan(plan)
     experiment = get_scale(scale)
+    hdov = experiment.hdov
+    if compress:
+        hdov = replace(hdov, compress_vpages=True)
     registry = MetricsRegistry()
     with use_registry(registry):
         scene = generate_city(experiment.city)
         grid = CellGrid.covering(scene.bounds(), experiment.cell_size)
-        env = build_environment(scene, grid, experiment.hdov)
+        env = build_environment(scene, grid, hdov)
         num_frames = frames if frames is not None \
             else experiment.session_frames
         path = make_session(session, scene.bounds(), num_frames=num_frames,
@@ -98,8 +108,7 @@ def run_chaos(*, scale: str = "small", session: int = 1,
 
         # The faulted replay starts from the same cold state.
         active = clean_system.delta.search.scheme
-        active.current_cell = None
-        active.drop_prefetches()
+        active.reset_runtime_state()
         env.reset_stats()
 
         files = _environment_files(env)
@@ -135,6 +144,7 @@ def run_chaos(*, scale: str = "small", session: int = 1,
                 "frames": num_frames,
                 "plan": fault_plan.name,
                 "seed": seed,
+                "compress": compress,
             },
             "outcome": {
                 "completed": completed,

@@ -1,0 +1,239 @@
+"""``repro layout`` — measure, rewrite, and re-measure the disk layout.
+
+For each requested scheme the runner:
+
+1. builds a **fresh** environment (never the shared experiment cache —
+   the rewrite mutates the V-page file in place);
+2. replays a walkthrough session, recording per-frame I/O deltas and a
+   canonical signature of every query's LoD selection;
+3. derives the cell tour from the session's own cell trace
+   (:func:`repro.storage.layout.affinity_graph` +
+   :func:`~repro.storage.layout.tour_order`), rewrites the scheme, and
+   replays again;
+4. repeats both replays on a compressed (packed delta codec) build.
+
+The report asserts the structural guarantees the benchmark gates on:
+LoD selections are frame-for-frame identical across all four variants
+(same `visibility_digest`, same selection digest), back seeks strictly
+drop after the rewrite, and V-page bytes strictly drop under
+compression while heavy (model) I/O stays exactly equal.
+
+Everything here is a pure function of the inputs — no wall clock, no
+ambient randomness — so two runs produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.hdov_tree import HDoVEnvironment, build_environment
+from repro.core.search import HDoVSearch
+from repro.errors import ExperimentError
+from repro.scene.city import generate_city
+from repro.storage.disk import IOStats
+from repro.storage.layout import (RewriteReport, affinity_graph,
+                                  rewrite_scheme, tour_order)
+from repro.visibility.cells import CellGrid
+from repro.visibility.persist import visibility_digest
+from repro.visibility.precompute import precompute_visibility
+from repro.walkthrough.session import Session, make_session
+
+#: Schemes the rewriter supports end to end.  The horizontal scheme can
+#: carry a layout remap too, but its all-cells-interleaved page formula
+#: is the pathology the paper replaces, so the CLI does not measure it.
+DEFAULT_SCHEMES: Tuple[str, ...] = ("vertical", "indexed-vertical")
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """One measured replay: I/O totals plus the selection digest."""
+
+    frames: int
+    queries: int
+    light: IOStats
+    heavy: IOStats
+    selection_digest: str
+    per_frame_back_seeks: float
+
+
+def _selection_signature(result: object) -> List[object]:
+    """Canonical, JSON-stable form of one query's LoD selection."""
+    objects = sorted((o.object_id, repr(o.fraction))
+                     for o in result.objects)        # type: ignore[attr-defined]
+    internals = sorted((i.node_offset, repr(i.fraction))
+                       for i in result.internals)    # type: ignore[attr-defined]
+    return [objects, internals]
+
+
+def _replay(env: HDoVEnvironment, scheme_name: str, path: Session,
+            eta: float) -> ReplayResult:
+    """Walk ``path`` once, querying on cell change, from cold state."""
+    scheme = env.scheme(scheme_name)
+    scheme.reset_runtime_state()
+    env.reset_stats()
+    searcher = HDoVSearch(env, scheme_name)
+    signatures: List[object] = []
+    back_seeks_per_frame: List[int] = []
+    queries = 0
+    last_cell: Optional[int] = None
+    for waypoint in path:
+        cell_id = env.grid.cell_of_point(waypoint.position_array())
+        snap = env.snapshot()
+        if cell_id != last_cell:
+            result = searcher.query_cell(cell_id, eta)
+            queries += 1
+            signatures.append([cell_id, _selection_signature(result)])
+            last_cell = cell_id
+        light, heavy = env.delta(snap)
+        back_seeks_per_frame.append(light.back_seeks + heavy.back_seeks)
+    digest = hashlib.sha256(
+        json.dumps(signatures, separators=(",", ":")).encode()).hexdigest()
+    light_total = env.light_stats.snapshot()
+    heavy_total = env.heavy_stats.snapshot()
+    return ReplayResult(
+        frames=path.num_frames, queries=queries,
+        light=light_total, heavy=heavy_total,
+        selection_digest=digest,
+        per_frame_back_seeks=(
+            sum(back_seeks_per_frame) / len(back_seeks_per_frame)
+            if back_seeks_per_frame else 0.0),
+    )
+
+
+def _replay_dict(replay: ReplayResult) -> Dict[str, object]:
+    def stats(io: IOStats) -> Dict[str, float]:
+        return {
+            "reads": io.reads,
+            "seeks": io.seeks,
+            "back_seeks": io.back_seeks,
+            "forward_seeks": io.forward_seeks,
+            "sequential_reads": io.sequential_reads,
+            "bytes_read": io.bytes_read,
+            "simulated_ms": round(io.simulated_ms, 6),
+        }
+    return {
+        "frames": replay.frames,
+        "queries": replay.queries,
+        "light": stats(replay.light),
+        "heavy": stats(replay.heavy),
+        "back_seeks_per_frame": round(replay.per_frame_back_seeks, 6),
+        "selection_digest": replay.selection_digest,
+    }
+
+
+def _rewrite_dict(report: RewriteReport) -> Dict[str, object]:
+    return {
+        "cells": report.cells,
+        "pointers_remapped": report.pointers_remapped,
+        "pages_moved": report.pages_moved,
+    }
+
+
+def run_layout(*, scale: str = "small", session: int = 4,
+               eta: float = 0.001, frames: Optional[int] = None,
+               schemes: Sequence[str] = DEFAULT_SCHEMES
+               ) -> Dict[str, object]:
+    """Measure the layout rewrite and V-page compression; see module doc.
+
+    Returns the JSON-ready report; ``report["ok"]`` is the conjunction
+    of every structural check.
+    """
+    # Imported here: the library layers must not depend on the
+    # experiment drivers at import time.
+    from repro.experiments.config import get_scale
+
+    for name in schemes:
+        if name not in DEFAULT_SCHEMES:
+            raise ExperimentError(
+                f"layout rewriting measures {DEFAULT_SCHEMES}, "
+                f"not {name!r}")
+
+    experiment = get_scale(scale)
+    scene = generate_city(experiment.city)
+    grid = CellGrid.covering(scene.bounds(), experiment.cell_size)
+    visibility = precompute_visibility(
+        scene, grid, resolution=experiment.hdov.dov_resolution,
+        samples_per_cell=experiment.hdov.samples_per_cell)
+    vis_digest = visibility_digest(visibility)
+
+    num_frames = frames if frames is not None else experiment.session_frames
+    path = make_session(session, scene.bounds(), num_frames=num_frames,
+                        street_pitch=experiment.city.pitch)
+    cell_trace = [grid.cell_of_point(wp.position_array())
+                  for wp in path]
+    neighbors = {cid: grid.neighbors(cid) for cid in grid.cell_ids()}
+    tour = tour_order(list(grid.cell_ids()),
+                      affinity_graph(cell_trace, neighbors))
+
+    def fresh_env(scheme_name: str, compress: bool) -> HDoVEnvironment:
+        hdov = replace(experiment.hdov, schemes=(scheme_name,),
+                       compress_vpages=compress)
+        return build_environment(scene, grid, hdov, visibility=visibility)
+
+    scheme_reports: Dict[str, Dict[str, object]] = {}
+    all_ok = True
+    for scheme_name in schemes:
+        env = fresh_env(scheme_name, compress=False)
+        baseline = _replay(env, scheme_name, path, eta)
+        rewrite = rewrite_scheme(env.scheme(scheme_name), tour)
+        rewritten = _replay(env, scheme_name, path, eta)
+
+        env_packed = fresh_env(scheme_name, compress=True)
+        compressed = _replay(env_packed, scheme_name, path, eta)
+        compression = env_packed.scheme(scheme_name).codec \
+            .compression_stats()
+        rewrite_packed = rewrite_scheme(env_packed.scheme(scheme_name),
+                                        tour)
+        compressed_rewritten = _replay(env_packed, scheme_name, path, eta)
+
+        variants = (baseline, rewritten, compressed, compressed_rewritten)
+        checks = {
+            # Same pixels: every variant selected the same LoDs on
+            # every frame, so fidelity is untouched by construction.
+            "selections_identical": len(
+                {v.selection_digest for v in variants}) == 1,
+            # ... which must also show up as *exactly* equal heavy
+            # (model) I/O — the models fetched are a function of the
+            # selections alone.
+            "heavy_io_identical": len(
+                {(v.heavy.reads, v.heavy.bytes_read, v.heavy.seeks)
+                 for v in variants}) == 1,
+            # The rewrite's point: strictly fewer back seeks.
+            "back_seeks_improved":
+                rewritten.light.back_seeks < baseline.light.back_seeks,
+            # Compression's point: strictly fewer V-page (light) bytes.
+            "light_bytes_improved":
+                compressed.light.bytes_read < baseline.light.bytes_read,
+            "total_bytes_improved":
+                (compressed.light.bytes_read + compressed.heavy.bytes_read)
+                < (baseline.light.bytes_read + baseline.heavy.bytes_read),
+        }
+        all_ok = all_ok and all(checks.values())
+        scheme_reports[scheme_name] = {
+            "baseline": _replay_dict(baseline),
+            "rewritten": dict(_replay_dict(rewritten),
+                              rewrite=_rewrite_dict(rewrite)),
+            "compressed": dict(_replay_dict(compressed),
+                               compression=compression),
+            "compressed_rewritten": dict(
+                _replay_dict(compressed_rewritten),
+                rewrite=_rewrite_dict(rewrite_packed)),
+            "checks": checks,
+        }
+
+    return {
+        "layout": {
+            "scale": scale,
+            "session": path.name,
+            "eta": eta,
+            "frames": num_frames,
+            "cells": grid.num_cells,
+            "tour_head": list(tour[:16]),
+        },
+        "visibility_digest": vis_digest,
+        "schemes": scheme_reports,
+        "ok": all_ok,
+    }

@@ -26,6 +26,8 @@ from typing import Dict
 PAGEDFILE_READS = "pagedfile_reads_total"
 PAGEDFILE_WRITES = "pagedfile_writes_total"
 PAGEDFILE_SEEKS = "pagedfile_seeks_total"
+PAGEDFILE_BACK_SEEKS = "pagedfile_back_seeks_total"
+PAGEDFILE_FORWARD_SEEKS = "pagedfile_forward_seeks_total"
 PAGEDFILE_SEQUENTIAL = "pagedfile_sequential_total"
 PAGEDFILE_BYTES_READ = "pagedfile_bytes_read_total"
 PAGEDFILE_BYTES_WRITTEN = "pagedfile_bytes_written_total"
@@ -60,6 +62,18 @@ JOURNAL_COMMITS = "journal_commits_total"
 RECOVERY_PAGES_REPLAYED = "recovery_pages_replayed_total"
 RECOVERY_TAIL_TRUNCATIONS = "recovery_tail_truncations_total"
 CRASHES_INJECTED = "crashes_injected_total"
+
+# -- repro.storage.vpagecodec: versioned V-page codec, per scheme label -----
+
+VPAGE_RECORDS_SELF = "vpage_records_self_total"
+VPAGE_RECORDS_DELTA = "vpage_records_delta_total"
+VPAGE_RAW_BYTES = "vpage_raw_bytes_total"
+VPAGE_ENCODED_BYTES = "vpage_encoded_bytes_total"
+
+# -- repro.storage.layout: seek-optimal rewriter, labelled by file ----------
+
+LAYOUT_REWRITES = "layout_rewrites_total"
+LAYOUT_PAGES_MOVED = "layout_pages_moved_total"
 
 # -- repro.core.search: one series set per scheme label ---------------------
 

@@ -44,6 +44,8 @@ def _iostats_dict(stats: IOStats) -> Dict[str, float]:
         "reads": stats.reads,
         "writes": stats.writes,
         "seeks": stats.seeks,
+        "back_seeks": stats.back_seeks,
+        "forward_seeks": stats.forward_seeks,
         "sequential_reads": stats.sequential_reads,
         "bytes_read": stats.bytes_read,
         "bytes_written": stats.bytes_written,
@@ -74,6 +76,8 @@ def _per_file_io(registry: MetricsRegistry, baseline: Dict[str, float],
         names.PAGEDFILE_READS: "reads",
         names.PAGEDFILE_WRITES: "writes",
         names.PAGEDFILE_SEEKS: "seeks",
+        names.PAGEDFILE_BACK_SEEKS: "back_seeks",
+        names.PAGEDFILE_FORWARD_SEEKS: "forward_seeks",
         names.PAGEDFILE_SEQUENTIAL: "sequential_reads",
         names.PAGEDFILE_BYTES_READ: "bytes_read",
         names.PAGEDFILE_BYTES_WRITTEN: "bytes_written",
@@ -127,6 +131,7 @@ def reconcile(per_file: Dict[str, Dict[str, float]],
 def run_profile(*, scale: str = "small", session: int = 1,
                 eta: float = 0.001, frames: Optional[int] = None,
                 scheme: Optional[str] = None,
+                compress: bool = False,
                 include_spans: bool = False) -> Dict[str, object]:
     """Run one instrumented walkthrough; returns the JSON-ready report.
 
@@ -135,29 +140,39 @@ def run_profile(*, scale: str = "small", session: int = 1,
     scale:
         Experiment scale name (``small`` / ``medium`` / ``large``).
     session:
-        Motion pattern 1, 2 or 3 (Section 5.4's recorded sessions).
+        Motion pattern 1, 2, 3 or 4 (Section 5.4's recorded sessions
+        plus the loop circuit the layout rewriter targets).
     eta:
         DoV threshold for the VISUAL system.
     frames:
         Frame count override (defaults to the scale's session length).
     scheme:
         Storage scheme to walk (defaults to the scale's only scheme).
+    compress:
+        Build with the packed delta V-page codec (``repro profile
+        --compress``); the ``layout`` section then shows a real
+        compression ratio instead of 1.0.
     include_spans:
         Also embed the full span list (one record per frame/query) in
         the report, not just the per-name summary.
     """
     # Imported here: repro.experiments pulls in every experiment driver,
     # which the library layers must not depend on at import time.
+    from dataclasses import replace
+
     from repro.experiments.config import get_scale
 
     experiment = get_scale(scale)
+    hdov = experiment.hdov
+    if compress:
+        hdov = replace(hdov, compress_vpages=True)
     registry = MetricsRegistry()
     tracer = TraceRecorder(enabled=True)
     with use_registry(registry), use_tracer(tracer):
         with span("build") as build_span:
             scene = generate_city(experiment.city)
             grid = CellGrid.covering(scene.bounds(), experiment.cell_size)
-            env = build_environment(scene, grid, experiment.hdov)
+            env = build_environment(scene, grid, hdov)
             if build_span is not None:
                 build_span.attrs.update(objects=len(scene),
                                         nodes=env.node_store.num_nodes,
@@ -194,6 +209,7 @@ def run_profile(*, scale: str = "small", session: int = 1,
                 "eta": eta,
                 "scheme": active_scheme.name,
                 "frames": num_frames,
+                "compress": compress,
             },
             "scene": {
                 "objects": len(scene),
@@ -243,6 +259,32 @@ def run_profile(*, scale: str = "small", session: int = 1,
                         registry, names.RECOVERY_PAGES_REPLAYED),
                     "recovery_tail_truncations": _metric_sum(
                         registry, names.RECOVERY_TAIL_TRUNCATIONS),
+                },
+            },
+            # Disk-layout view of the same run: the seek *direction*
+            # split per file (back seeks are what the layout rewriter
+            # attacks) and the V-page codec's byte accounting.  The
+            # split is internally checked (back + forward == seeks, per
+            # file) on top of the IOStats reconciliation above.
+            "layout": {
+                "seeks": {
+                    fname: {
+                        "seeks": row["seeks"],
+                        "back_seeks": row["back_seeks"],
+                        "forward_seeks": row["forward_seeks"],
+                        "split_ok": (row["back_seeks"]
+                                     + row["forward_seeks"]
+                                     == row["seeks"]),
+                    }
+                    for fname, row in per_file.items()
+                },
+                "codecs": {
+                    scheme_name: dict(
+                        env_scheme.codec.compression_stats(),
+                        vpage_bytes=(env_scheme.storage_breakdown()
+                                     .vpage_bytes),
+                    )
+                    for scheme_name, env_scheme in env.schemes.items()
                 },
             },
             "cache": {

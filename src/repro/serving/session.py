@@ -44,6 +44,8 @@ def _accumulate(total: IOStats, delta: IOStats) -> None:
     total.reads += delta.reads
     total.writes += delta.writes
     total.seeks += delta.seeks
+    total.back_seeks += delta.back_seeks
+    total.forward_seeks += delta.forward_seeks
     total.sequential_reads += delta.sequential_reads
     total.bytes_read += delta.bytes_read
     total.bytes_written += delta.bytes_written
@@ -177,6 +179,8 @@ class ServingSession:
             resident_bytes=(self.delta.resident_bytes
                             + self.delta.search.scheme.resident_bytes()),
             degraded=self._last_degraded,
+            back_seeks=light.back_seeks + heavy.back_seeks,
+            forward_seeks=light.forward_seeks + heavy.forward_seeks,
         ))
         self.last_frame_ms = frame_ms
         self.next_frame += 1

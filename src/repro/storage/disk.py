@@ -12,11 +12,22 @@ are machine-independent:
 This distinction is what separates the vertical scheme (DFS-ordered,
 sequential V-pages) from the horizontal scheme (scattered V-pages) in
 Figure 7.
+
+Non-sequential accesses are further split by *direction*: a seek whose
+target page id is **below** the previous position on the same file is a
+``back_seek``; one at or above it (or the first access after a head
+reset) is a ``forward_seek``.  Backward seeks are what a layout rewrite
+(``repro layout``) can remove — the head must travel against the scan
+direction and no read-ahead helps — so they may be costed separately via
+``DiskModel.back_seek_ms``.  By default ``back_seek_ms`` equals
+``seek_ms`` and every historical total is unchanged; the split counters
+are new information, not a re-pricing.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 @dataclass
@@ -34,6 +45,10 @@ class IOStats:
     bytes_read: int = 0
     bytes_written: int = 0
     simulated_ms: float = 0.0
+    #: Direction split of ``seeks``: ``back_seeks + forward_seeks ==
+    #: seeks`` always holds (a sequential access increments neither).
+    back_seeks: int = 0
+    forward_seeks: int = 0
 
     @property
     def total_ios(self) -> int:
@@ -41,9 +56,14 @@ class IOStats:
 
     def snapshot(self) -> "IOStats":
         """An immutable-by-convention copy of the current counters."""
-        return IOStats(self.reads, self.writes, self.seeks,
-                       self.sequential_reads, self.bytes_read,
-                       self.bytes_written, self.simulated_ms)
+        return IOStats(reads=self.reads, writes=self.writes,
+                       seeks=self.seeks,
+                       sequential_reads=self.sequential_reads,
+                       bytes_read=self.bytes_read,
+                       bytes_written=self.bytes_written,
+                       simulated_ms=self.simulated_ms,
+                       back_seeks=self.back_seeks,
+                       forward_seeks=self.forward_seeks)
 
     def delta(self, since: "IOStats") -> "IOStats":
         """Counters accumulated since ``since`` (an earlier snapshot)."""
@@ -55,6 +75,8 @@ class IOStats:
             bytes_read=self.bytes_read - since.bytes_read,
             bytes_written=self.bytes_written - since.bytes_written,
             simulated_ms=self.simulated_ms - since.simulated_ms,
+            back_seeks=self.back_seeks - since.back_seeks,
+            forward_seeks=self.forward_seeks - since.forward_seeks,
         )
 
     def reset(self) -> None:
@@ -65,10 +87,13 @@ class IOStats:
         self.bytes_read = 0
         self.bytes_written = 0
         self.simulated_ms = 0.0
+        self.back_seeks = 0
+        self.forward_seeks = 0
 
     def __repr__(self) -> str:
         return (f"IOStats(reads={self.reads}, writes={self.writes}, "
-                f"seeks={self.seeks}, seq={self.sequential_reads}, "
+                f"seeks={self.seeks}, back={self.back_seeks}, "
+                f"fwd={self.forward_seeks}, seq={self.sequential_reads}, "
                 f"ms={self.simulated_ms:.3f})")
 
 
@@ -89,16 +114,46 @@ class DiskModel:
     #: window).  This is what makes the DFS-ordered V-page and model
     #: layouts pay off even when pruned branches skip pages in the scan.
     readahead_pages: int = 32
+    #: Milliseconds for a *backward* seek (target page id below the
+    #: previous position).  ``None`` means "same as ``seek_ms``", which
+    #: keeps every pre-existing simulated-ms total byte-identical; set it
+    #: higher (never lower — ``__post_init__`` enforces the asymmetry) to
+    #: model the head travelling against the scan direction with no
+    #: read-ahead to hide it.
+    back_seek_ms: Optional[float] = None
 
-    def access_cost(self, sequential: bool) -> float:
+    def __post_init__(self) -> None:
+        if self.back_seek_ms is not None \
+                and self.back_seek_ms < self.seek_ms:
+            raise ValueError(
+                f"back_seek_ms ({self.back_seek_ms}) must be >= seek_ms "
+                f"({self.seek_ms}): a backward seek is never cheaper "
+                f"than a forward one")
+
+    @property
+    def effective_back_seek_ms(self) -> float:
+        """``back_seek_ms`` with the ``None`` default resolved."""
+        if self.back_seek_ms is None:
+            return self.seek_ms
+        return self.back_seek_ms
+
+    def access_cost(self, sequential: bool, *,
+                    backward: bool = False) -> float:
         """Simulated milliseconds for one page access."""
         if sequential:
             return self.transfer_ms
+        if backward:
+            return self.effective_back_seek_ms + self.transfer_ms
         return self.seek_ms + self.transfer_ms
 
     def charge(self, stats: IOStats, *, write: bool, sequential: bool,
-               nbytes: int) -> None:
-        """Record one page access in ``stats``."""
+               nbytes: int, backward: bool = False) -> None:
+        """Record one page access in ``stats``.
+
+        ``backward`` is only meaningful when ``sequential`` is false; the
+        caller (``PagedFile._charge``) classifies the direction against
+        the file's previous head position.
+        """
         if write:
             stats.writes += 1
             stats.bytes_written += nbytes
@@ -107,9 +162,14 @@ class DiskModel:
             stats.bytes_read += nbytes
         if sequential:
             stats.sequential_reads += 1
+        elif backward:
+            stats.seeks += 1
+            stats.back_seeks += 1
         else:
             stats.seeks += 1
-        stats.simulated_ms += self.access_cost(sequential)
+            stats.forward_seeks += 1
+        stats.simulated_ms += self.access_cost(sequential,
+                                               backward=backward)
 
 
 #: Disk model with zero cost, for tests that only care about counts.

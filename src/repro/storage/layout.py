@@ -1,0 +1,216 @@
+"""Seek-optimal disk layout rewriter for the V-page files.
+
+The build lays V-pages out in ascending cell id — row-major over the
+grid — but a walkthrough visits cells along *streets*.  Whenever the
+path runs against the build order (the -x and -y legs of a loop), every
+flip jumps backwards in the file and the disk pays the asymmetric
+back-seek cost (:mod:`repro.storage.disk`).  The rewriter reorders the
+V-page file so cells that are visited consecutively sit consecutively
+on disk:
+
+1. **Affinity graph** — nodes are cells; edge weights combine the
+   observed walkthrough trace (consecutive flips between two cells,
+   weighted heavily) with a grid-adjacency prior (weight 1), so cells
+   the path never visited still land near their neighbours.
+2. **Tour order** — a weighted depth-first traversal: always take the
+   heaviest edge out of the current cell (ties to the smaller cell id),
+   append never-reached cells in ascending id.  Deterministic.
+3. **Rewrite** — the V-page file is physically reordered to the tour
+   and every scheme pointer is remapped
+   (:meth:`StorageScheme.apply_layout`):
+
+   * raw codec: the file's pages are permuted in place (read all, write
+     to new slots) and pointers map page -> page;
+   * packed codec: all records are decoded through the old codec and
+     re-encoded with a *fresh* codec in tour order — delta references
+     re-resolve against the new write order — and pointers map byte
+     offset -> byte offset.
+
+Rewrites are crash-safe on journaled files: the permutation goes
+through the ordinary ``pageio`` write path (journal first, pages
+after), and the rewriter checkpoints the file at the end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.schemes.base import StorageScheme
+from repro.errors import StorageError
+from repro.obs import names
+from repro.obs.metrics import get_registry
+from repro.storage import pageio
+from repro.storage.vpagecodec import PackedDeltaVPageCodec, VEntry
+
+#: Weight of one observed consecutive flip in the walkthrough trace,
+#: relative to the grid-adjacency prior's weight of 1.  High enough
+#: that a single observation dominates the prior, low enough that the
+#: prior still orders never-visited cells sensibly.
+TRACE_EDGE_WEIGHT = 16
+
+
+def affinity_graph(cell_trace: Sequence[int],
+                   neighbors: Dict[int, List[int]]
+                   ) -> Dict[Tuple[int, int], int]:
+    """Symmetric edge weights between cells.
+
+    ``cell_trace`` is the per-frame cell id sequence of a walkthrough;
+    ``neighbors`` the grid 4-neighbourhood.  Keys are ``(lo, hi)`` cell
+    id pairs with ``lo < hi``.
+    """
+    weights: Dict[Tuple[int, int], int] = {}
+    for cell, adjacent in neighbors.items():
+        for other in adjacent:
+            if cell < other:
+                weights[(cell, other)] = 1
+    for previous, current in zip(cell_trace, cell_trace[1:]):
+        if previous == current:
+            continue
+        edge = (min(previous, current), max(previous, current))
+        weights[edge] = weights.get(edge, 0) + TRACE_EDGE_WEIGHT
+    return weights
+
+
+def tour_order(cells: Sequence[int],
+               weights: Dict[Tuple[int, int], int]) -> List[int]:
+    """Weighted-DFS visiting order over the affinity graph.
+
+    Starts from the first cell the affinity graph is anchored to (the
+    smallest id), repeatedly follows the heaviest edge to an unvisited
+    cell (ties: smaller id), backtracks when stuck, and appends any
+    unreached cells in ascending id.  Pure function of its inputs.
+    """
+    adjacency: Dict[int, List[Tuple[int, int]]] = {c: [] for c in cells}
+    for (lo, hi), weight in weights.items():
+        if lo in adjacency and hi in adjacency:
+            adjacency[lo].append((weight, hi))
+            adjacency[hi].append((weight, lo))
+    order: List[int] = []
+    visited = set()
+    for start in sorted(adjacency):
+        if start in visited:
+            continue
+        stack = [start]
+        while stack:
+            cell = stack[-1]
+            if cell not in visited:
+                visited.add(cell)
+                order.append(cell)
+            # Heaviest edge first; ties to the smaller neighbour id.
+            candidates = [(w, n) for w, n in adjacency[cell]
+                          if n not in visited]
+            if candidates:
+                candidates.sort(key=lambda wn: (-wn[0], wn[1]))
+                stack.append(candidates[0][1])
+            else:
+                stack.pop()
+    return order
+
+
+@dataclass(frozen=True)
+class RewriteReport:
+    """What one scheme's rewrite did."""
+
+    scheme: str
+    cells: int
+    pointers_remapped: int
+    pages_moved: int
+
+
+def rewrite_scheme(scheme: StorageScheme,
+                   cell_order: Sequence[int]) -> RewriteReport:
+    """Reorder ``scheme``'s V-page storage to ``cell_order``.
+
+    Charges I/O on the scheme's files (callers measuring before/after
+    replays reset stats around the call).  The scheme's pointer
+    structures are rewritten through :meth:`StorageScheme.apply_layout`
+    and its flip state is invalidated; journaled files are
+    checkpointed so the rewrite is crash-consistent.
+    """
+    if isinstance(scheme.codec, PackedDeltaVPageCodec):
+        report = _rewrite_packed(scheme, cell_order)
+    else:
+        report = _rewrite_raw(scheme, cell_order)
+    registry = get_registry()
+    registry.counter(names.LAYOUT_REWRITES,
+                     file=scheme.vpage_file.name).inc()
+    registry.counter(names.LAYOUT_PAGES_MOVED,
+                     file=scheme.vpage_file.name).inc(report.pages_moved)
+    if scheme.vpage_file.journal is not None:
+        scheme.vpage_file.checkpoint()
+    if (scheme.index_file is not None
+            and scheme.index_file.journal is not None):
+        scheme.index_file.checkpoint()
+    return report
+
+
+def _rewrite_raw(scheme: StorageScheme,
+                 cell_order: Sequence[int]) -> RewriteReport:
+    """Physically permute the raw V-page file into tour order."""
+    pfile = scheme.vpage_file
+    old_pages: List[int] = []
+    pointer_count = 0
+    for cell_id in cell_order:
+        for _offset, pointer in scheme.cell_pointers(cell_id):
+            old_pages.append(pointer)
+            pointer_count += 1
+    if len(set(old_pages)) != len(old_pages):
+        raise StorageError(
+            f"{pfile.name}: layout rewrite saw a shared V-page pointer")
+    # Tour position within the file span the V-pages actually occupy:
+    # the tour's n-th page goes into the n-th smallest original slot,
+    # so a file where V-pages do not start at page 0 — or that holds
+    # other pages too — is permuted strictly within its own slots.
+    slots = sorted(old_pages)
+    remap = {old: slots[index] for index, old in enumerate(old_pages)}
+    moved = sum(1 for old, new in remap.items() if old != new)
+    if moved:
+        images = {old: pageio.read_page(pfile, old, component="layout")
+                  for old in old_pages}
+        pfile.reset_head()
+        # Write in ascending destination order: the rewrite itself is
+        # then one forward sweep.
+        for old in sorted(images, key=lambda o: remap[o]):
+            pageio.write_page(pfile, remap[old], images[old],
+                              component="layout")
+    scheme.apply_layout(remap)
+    pfile.reset_head()
+    return RewriteReport(scheme=scheme.name, cells=len(cell_order),
+                         pointers_remapped=pointer_count, pages_moved=moved)
+
+
+def _rewrite_packed(scheme: StorageScheme,
+                    cell_order: Sequence[int]) -> RewriteReport:
+    """Re-encode the packed stream in tour order with a fresh codec."""
+    old_codec = scheme.codec
+    assert isinstance(old_codec, PackedDeltaVPageCodec)
+    # Decode everything through the *old* codec before touching the
+    # file: (cell, node offset, entries) in tour order.
+    decoded: List[Tuple[int, int, int, List[VEntry]]] = []
+    for cell_id in cell_order:
+        for offset, pointer in scheme.cell_pointers(cell_id):
+            stored_offset, ventries = old_codec.read(pointer, scheme)
+            if stored_offset != offset:
+                raise StorageError(
+                    f"{scheme.vpage_file.name}: record at {pointer} "
+                    f"stores offset {stored_offset}, index says {offset}")
+            decoded.append((cell_id, offset, pointer, ventries))
+    new_codec = PackedDeltaVPageCodec(old_codec.page_size,
+                                      old_codec.neighbors,
+                                      scheme=old_codec.scheme)
+    remap: Dict[int, int] = {}
+    current_cell = None
+    for cell_id, offset, old_pointer, ventries in decoded:
+        if cell_id != current_cell:
+            new_codec.begin_cell(cell_id)
+            current_cell = cell_id
+        remap[old_pointer] = new_codec.append(
+            scheme.vpage_file, cell_id, offset, ventries)
+    new_codec.finish(scheme.vpage_file)
+    scheme.codec = new_codec
+    scheme.apply_layout(remap)
+    scheme.reset_io_head()
+    moved = sum(1 for old, new in remap.items() if old != new)
+    return RewriteReport(scheme=scheme.name, cells=len(cell_order),
+                         pointers_remapped=len(remap), pages_moved=moved)

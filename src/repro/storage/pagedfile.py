@@ -111,6 +111,10 @@ class PagedFile:
         self._m_reads = registry.counter(names.PAGEDFILE_READS, file=name)
         self._m_writes = registry.counter(names.PAGEDFILE_WRITES, file=name)
         self._m_seeks = registry.counter(names.PAGEDFILE_SEEKS, file=name)
+        self._m_back_seeks = registry.counter(
+            names.PAGEDFILE_BACK_SEEKS, file=name)
+        self._m_forward_seeks = registry.counter(
+            names.PAGEDFILE_FORWARD_SEEKS, file=name)
         self._m_sequential = registry.counter(
             names.PAGEDFILE_SEQUENTIAL, file=name)
         self._m_bytes_read = registry.counter(
@@ -327,8 +331,15 @@ class PagedFile:
         # repositioning happens, so it must not be charged as a seek.
         sequential = (self._last_accessed is not None
                       and 0 <= page_id - self._last_accessed <= window)
+        # Direction is classified against *this file's* head only: each
+        # PagedFile models its own spindle, so interleaved access to
+        # another file never perturbs the classification here, and a
+        # cold head (first access, or after reset_head) is a forward
+        # seek — the arm starts parked at the outer edge.
+        backward = (not sequential and self._last_accessed is not None
+                    and page_id < self._last_accessed)
         self.disk.charge(self.stats, write=write, sequential=sequential,
-                         nbytes=self.page_size)
+                         nbytes=self.page_size, backward=backward)
         if write:
             self._m_writes.inc()
             self._m_bytes_written.inc(self.page_size)
@@ -337,9 +348,13 @@ class PagedFile:
             self._m_bytes_read.inc(self.page_size)
         if sequential:
             self._m_sequential.inc()
+        elif backward:
+            self._m_seeks.inc()
+            self._m_back_seeks.inc()
         else:
             self._m_seeks.inc()
-        self._m_ms.inc(self.disk.access_cost(sequential))
+            self._m_forward_seeks.inc()
+        self._m_ms.inc(self.disk.access_cost(sequential, backward=backward))
         self._last_accessed = page_id
 
     def _validate(self, page_id: int) -> None:

@@ -1,0 +1,491 @@
+"""Versioned V-page codecs: the only readers/writers of V-page bytes.
+
+Two codecs share one interface:
+
+* :class:`RawVPageCodec` — the seed layout: one V-page per disk page,
+  encoded with the fixed-width serializer record.  Pointers are page
+  ids.  Byte-for-byte identical to the pre-codec behaviour.
+* :class:`PackedDeltaVPageCodec` — a packed record stream with per-cell
+  delta compression.  Pointers are *byte offsets* into the stream, so
+  many records share a page and ``bytes_read`` reflects the compressed
+  footprint exactly (page-granularity charging over far fewer pages).
+
+Lint rule RPR014 makes this module (plus the serializer that owns the
+raw byte layout) the only place allowed to call
+``encode_vpage``/``decode_vpage``: every scheme reads V-pages through a
+codec, so a format change — or a corruption check — lands in one place.
+
+Packed record layout (version 2, little-endian, varint = unsigned
+LEB128 capped at 5 bytes):
+
+========================  ==================================================
+field                     bytes
+========================  ==================================================
+version                   u8, always ``2``
+flags                     u8, bit 0 = delta-encoded (all other bits 0)
+node offset               varint
+entry count               varint
+ref pointer               varint, *delta records only*: byte offset of the
+                          self-encoded base record (reference chain depth
+                          is exactly 1 — the decoder refuses deeper chains)
+payload                   self: per entry ``f32 DoV + varint NVO``;
+                          delta: ``varint ndiff`` then per changed entry
+                          ``varint index gap + f32 DoV + varint NVO``
+                          (gaps are ``index - prev_index - 1``; the first
+                          gap is the absolute index)
+CRC32                     u32 over all preceding record bytes
+========================  ==================================================
+
+Delta encoding exploits what "Scalable Visibility Color Map
+Construction" observes: nearby viewpoints share most of their visible
+set, so a cell's V-page usually differs from a grid-adjacent neighbour's
+in a handful of entries.  The writer designates, per cell, the most
+recently *written* grid-adjacent cell as the reference — a rule that
+holds under any write order (build order or a layout-rewrite tour), and
+falls back to self-encoding whenever the delta would not be smaller or
+the base record is itself a delta.  Entry lists are positional and
+structurally identical across cells (one V-entry per tree-node entry),
+so an index diff is well-defined.
+
+Corruption never decodes silently: every record is CRC-covered, every
+varint is bounds-checked against the stream, and any parse failure —
+bad version, bad flags, chain depth, out-of-range DoV/NVO, truncation —
+raises :class:`~repro.errors.PageCorruptError`, which the search layer
+degrades exactly like a page-trailer CRC failure.
+"""
+
+from __future__ import annotations
+
+import abc
+import struct
+import zlib
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
+
+from repro.errors import PageCorruptError, SchemeError
+from repro.obs import names
+from repro.obs.metrics import get_registry
+from repro.storage import pageio
+from repro.storage.pagedfile import PagedFile
+from repro.storage.serializer import decode_vpage, encode_vpage
+
+#: Packed record format version (raw pages carry no version byte; their
+#: layout predates the codec and is fixed by the serializer).
+PACKED_VERSION = 2
+#: flags bit 0: the payload is a diff against a reference record.
+_FLAG_DELTA = 0x01
+
+_F32 = struct.Struct("<f")
+_CRC = struct.Struct("<I")
+
+#: One V-entry, ``(DoV, NVO)`` — structurally the same alias as
+#: ``repro.core.vpage.VEntry``, redeclared here so the storage layer
+#: does not import upward into ``repro.core``.
+VEntry = Tuple[float, int]
+
+
+class PageReader(Protocol):
+    """Read access to the V-page file, supplied by the calling scheme.
+
+    The scheme routes this through its serving page cache and, for
+    packed codecs, its small read-through page cache — so the codec
+    never decides *whether* a page read is charged, only which pages a
+    record needs.
+    """
+
+    def vpage_page(self, page_id: int) -> bytes:
+        ...
+
+
+class VPageCodec(abc.ABC):
+    """Versioned encoder/decoder between V-entries and V-page bytes."""
+
+    kind: str = "abstract"
+    #: Whether pointers are byte offsets into a packed stream (True) or
+    #: page ids (False).
+    packed: bool = False
+
+    def begin_cell(self, cell_id: int) -> None:
+        """Writer hook: the next ``append`` calls belong to ``cell_id``."""
+        return None
+
+    @abc.abstractmethod
+    def append(self, vpage_file: PagedFile, cell_id: int, node_offset: int,
+               ventries: Sequence[VEntry]) -> int:
+        """Encode and store one V-page; returns its pointer."""
+
+    def finish(self, vpage_file: PagedFile) -> None:
+        """Writer hook: all cells appended; flush any buffered state."""
+        return None
+
+    @abc.abstractmethod
+    def read(self, pointer: int, reader: PageReader
+             ) -> Tuple[int, List[VEntry]]:
+        """Decode the V-page at ``pointer``; returns
+        ``(node_offset, ventries)``."""
+
+    @abc.abstractmethod
+    def storage_vpage_bytes(self, page_size: int, total_vpages: int) -> int:
+        """On-disk bytes the V-page structure occupies (Table 2)."""
+
+    @abc.abstractmethod
+    def compression_stats(self) -> Dict[str, float]:
+        """Raw-vs-encoded byte accounting for the profile/layout report."""
+
+
+class RawVPageCodec(VPageCodec):
+    """Seed layout: one fixed-width V-page record per disk page."""
+
+    kind = "raw"
+    packed = False
+
+    def append(self, vpage_file: PagedFile, cell_id: int, node_offset: int,
+               ventries: Sequence[VEntry]) -> int:
+        payload = self.encode_page(node_offset, ventries,
+                                   vpage_file.page_size)
+        return pageio.append_page(vpage_file, payload, component="schemes")
+
+    def read(self, pointer: int, reader: PageReader
+             ) -> Tuple[int, List[VEntry]]:
+        return self.decode_page(reader.vpage_page(pointer))
+
+    # The horizontal scheme writes at computed page ids instead of
+    # appending, so the raw codec also exposes the bare byte codec.
+
+    def encode_page(self, node_offset: int, ventries: Sequence[VEntry],
+                    page_size: int) -> bytes:
+        return encode_vpage(node_offset, ventries, page_size)
+
+    def decode_page(self, data: bytes) -> Tuple[int, List[VEntry]]:
+        return decode_vpage(data)
+
+    def storage_vpage_bytes(self, page_size: int, total_vpages: int) -> int:
+        return page_size * total_vpages
+
+    def compression_stats(self) -> Dict[str, float]:
+        return {"codec": self.kind, "records": 0, "self_records": 0,
+                "delta_records": 0, "raw_bytes": 0, "encoded_bytes": 0,
+                "ratio": 1.0}
+
+
+def _encode_varint(value: int) -> bytes:
+    if value < 0:
+        raise SchemeError(f"varint cannot encode negative value {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+#: Quantized V-entry: (f32 bit pattern of the DoV, NVO).  Comparing bit
+#: patterns, not floats, makes "unchanged vs the reference" exact — the
+#: raw codec stores f32 too, so decode returns identical values either
+#: way (RPR005-safe: this is bit equality, not float tolerance).
+_QEntry = Tuple[bytes, int]
+
+
+def _quantize(ventries: Sequence[VEntry]) -> List[_QEntry]:
+    quantized: List[_QEntry] = []
+    for dov, nvo in ventries:
+        if not 0.0 <= dov <= 1.0:
+            raise SchemeError(f"DoV out of [0, 1]: {dov}")
+        if nvo < 0:
+            raise SchemeError(f"negative NVO: {nvo}")
+        quantized.append((_F32.pack(dov), nvo))
+    return quantized
+
+
+def _self_payload(quantized: Sequence[_QEntry]) -> bytes:
+    parts = []
+    for bits, nvo in quantized:
+        parts.append(bits)
+        parts.append(_encode_varint(nvo))
+    return b"".join(parts)
+
+
+def _delta_payload(quantized: Sequence[_QEntry],
+                   base: Sequence[_QEntry]) -> bytes:
+    diffs = [i for i, entry in enumerate(quantized) if entry != base[i]]
+    parts = [_encode_varint(len(diffs))]
+    previous = -1
+    for index in diffs:
+        parts.append(_encode_varint(index - previous - 1))
+        bits, nvo = quantized[index]
+        parts.append(bits)
+        parts.append(_encode_varint(nvo))
+        previous = index
+    return b"".join(parts)
+
+
+class _StreamCursor:
+    """Byte-granular reads over the packed stream, fetching pages lazily
+    through the scheme's reader (each page fetched at most once per
+    record decode)."""
+
+    def __init__(self, codec: "PackedDeltaVPageCodec", pointer: int,
+                 reader: PageReader) -> None:
+        self._codec = codec
+        self._reader = reader
+        self._base = pointer
+        self._buffer = bytearray()
+        self.position = 0
+
+    def take(self, count: int) -> bytes:
+        while len(self._buffer) - self.position < count:
+            next_byte = self._base + len(self._buffer)
+            if next_byte >= self._codec.stream_length:
+                raise PageCorruptError(
+                    "packed V-page record truncated at stream end")
+            page_size = self._codec.page_size
+            page_index = next_byte // page_size
+            page = self._reader.vpage_page(
+                self._codec.first_page + page_index)
+            self._buffer.extend(page[next_byte - page_index * page_size:])
+        out = bytes(self._buffer[self.position:self.position + count])
+        self.position += count
+        return out
+
+    def varint(self) -> int:
+        value = 0
+        shift = 0
+        for _ in range(5):                 # u32 fits 5 LEB128 bytes
+            byte = self.take(1)[0]
+            value |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                if value > 0xFFFFFFFF:
+                    raise PageCorruptError("varint exceeds u32 range")
+                return value
+            shift += 7
+        raise PageCorruptError("varint longer than 5 bytes")
+
+    def consumed(self) -> bytes:
+        return bytes(self._buffer[:self.position])
+
+
+class PackedDeltaVPageCodec(VPageCodec):
+    """Packed, delta-compressed V-page stream (record layout above).
+
+    ``neighbors`` maps each cell id to its grid-adjacent cell ids (the
+    4-neighbourhood from :meth:`CellGrid.neighbors`); it drives the
+    reference-cell designation.  The writer buffers the stream in memory
+    during build and flushes it page-by-page in ``finish`` — appends
+    return final pointers immediately, and every page is written exactly
+    once, deterministically.
+    """
+
+    kind = "packed-delta"
+    packed = True
+
+    def __init__(self, page_size: int, neighbors: Dict[int, List[int]],
+                 scheme: str = "unknown") -> None:
+        if page_size < 16:
+            raise SchemeError(f"page size {page_size} too small to pack")
+        self.page_size = page_size
+        self.scheme = scheme
+        #: cell id -> grid-adjacent cell ids; public so a layout rewrite
+        #: can instantiate a fresh codec over the same grid.
+        self.neighbors: Dict[int, List[int]] = dict(neighbors)
+        self._stream = bytearray()
+        #: First file page of the stream (set by ``finish``).
+        self.first_page = 0
+        self.stream_length = 0
+        self._finished = False
+        #: Write order of cells: cell id -> sequence number.
+        self._write_seq: Dict[int, int] = {}
+        self._current_cell: Optional[int] = None
+        self._current_ref: Optional[int] = None
+        #: Self-encoded records only: (cell, node offset) -> quantized
+        #: entries / stream pointer.  Delta records never serve as bases,
+        #: which caps reference chains at depth 1 by construction.
+        self._base_entries: Dict[Tuple[int, int], List[_QEntry]] = {}
+        self._base_pointers: Dict[Tuple[int, int], int] = {}
+        self.self_records = 0
+        self.delta_records = 0
+        self.records = 0
+        self.pages_used = 0
+
+    # -- write -------------------------------------------------------------
+
+    def begin_cell(self, cell_id: int) -> None:
+        self._current_cell = cell_id
+        self._current_ref = None
+        best = -1
+        for neighbor in self.neighbors.get(cell_id, []):
+            seq = self._write_seq.get(neighbor, -1)
+            if seq > best:
+                best = seq
+                self._current_ref = neighbor
+        self._write_seq[cell_id] = len(self._write_seq)
+
+    def append(self, vpage_file: PagedFile, cell_id: int, node_offset: int,
+               ventries: Sequence[VEntry]) -> int:
+        if self._finished:
+            raise SchemeError("packed V-page stream already finished")
+        if cell_id != self._current_cell:
+            raise SchemeError(
+                f"append for cell {cell_id} without begin_cell "
+                f"(current: {self._current_cell})")
+        quantized = _quantize(ventries)
+        head = (bytes((PACKED_VERSION,)) + bytes((0,))
+                + _encode_varint(node_offset)
+                + _encode_varint(len(quantized)))
+        self_body = head + _self_payload(quantized)
+        body = self_body
+        delta = False
+        ref = self._current_ref
+        if ref is not None:
+            base = self._base_entries.get((ref, node_offset))
+            if base is not None and len(base) == len(quantized):
+                ref_pointer = self._base_pointers[(ref, node_offset)]
+                delta_body = (bytes((PACKED_VERSION,))
+                              + bytes((_FLAG_DELTA,))
+                              + _encode_varint(node_offset)
+                              + _encode_varint(len(quantized))
+                              + _encode_varint(ref_pointer)
+                              + _delta_payload(quantized, base))
+                if len(delta_body) < len(self_body):
+                    body = delta_body
+                    delta = True
+        pointer = len(self._stream)
+        self._stream.extend(body)
+        self._stream.extend(_CRC.pack(zlib.crc32(body)))
+        self.records += 1
+        registry = get_registry()
+        if delta:
+            self.delta_records += 1
+            registry.counter(names.VPAGE_RECORDS_DELTA,
+                             scheme=self.scheme).inc()
+        else:
+            self.self_records += 1
+            self._base_entries[(cell_id, node_offset)] = quantized
+            self._base_pointers[(cell_id, node_offset)] = pointer
+            registry.counter(names.VPAGE_RECORDS_SELF,
+                             scheme=self.scheme).inc()
+        registry.counter(names.VPAGE_RAW_BYTES,
+                         scheme=self.scheme).inc(self.page_size)
+        registry.counter(names.VPAGE_ENCODED_BYTES,
+                         scheme=self.scheme).inc(len(body) + _CRC.size)
+        return pointer
+
+    def finish(self, vpage_file: PagedFile) -> None:
+        if self._finished:
+            raise SchemeError("packed V-page stream already finished")
+        self._finished = True
+        self.stream_length = len(self._stream)
+        pages = max((self.stream_length + self.page_size - 1)
+                    // self.page_size, 1)
+        # The stream owns the file from page 0: schemes give the packed
+        # codec a dedicated V-page file.  A rewrite reuses the existing
+        # pages and only grows the file if the new stream needs more.
+        if vpage_file.num_pages < pages:
+            vpage_file.allocate_many(pages - vpage_file.num_pages)
+        self.first_page = 0
+        for index in range(pages):
+            chunk = bytes(self._stream[index * self.page_size:
+                                       (index + 1) * self.page_size])
+            pageio.write_page(vpage_file, self.first_page + index, chunk,
+                              component="schemes")
+        self.pages_used = pages
+
+    # -- read --------------------------------------------------------------
+
+    def read(self, pointer: int, reader: PageReader
+             ) -> Tuple[int, List[VEntry]]:
+        return self._read_record(pointer, reader, depth=0)
+
+    def _read_record(self, pointer: int, reader: PageReader, *,
+                     depth: int) -> Tuple[int, List[VEntry]]:
+        if not 0 <= pointer < self.stream_length:
+            raise PageCorruptError(
+                f"packed V-page pointer {pointer} outside stream "
+                f"of {self.stream_length} bytes")
+        cursor = _StreamCursor(self, pointer, reader)
+        try:
+            version = cursor.take(1)[0]
+            if version != PACKED_VERSION:
+                raise PageCorruptError(
+                    f"packed V-page version {version}, "
+                    f"expected {PACKED_VERSION}")
+            flags = cursor.take(1)[0]
+            if flags & ~_FLAG_DELTA:
+                raise PageCorruptError(
+                    f"packed V-page has unknown flags 0x{flags:02x}")
+            node_offset = cursor.varint()
+            count = cursor.varint()
+            if count > self.page_size:
+                # More entries than a raw page could ever hold: garbage.
+                raise PageCorruptError(
+                    f"packed V-page entry count {count} implausible")
+            if flags & _FLAG_DELTA:
+                if depth > 0:
+                    raise PageCorruptError(
+                        "packed V-page reference chain deeper than 1")
+                ref_pointer = cursor.varint()
+                ndiff = cursor.varint()
+                if ndiff > count:
+                    raise PageCorruptError(
+                        f"delta record with {ndiff} diffs over "
+                        f"{count} entries")
+                diffs: List[Tuple[int, VEntry]] = []
+                index = -1
+                for _ in range(ndiff):
+                    index += cursor.varint() + 1
+                    if index >= count:
+                        raise PageCorruptError(
+                            f"delta index {index} out of {count} entries")
+                    dov = _F32.unpack(cursor.take(4))[0]
+                    nvo = cursor.varint()
+                    diffs.append((index, (dov, nvo)))
+                self._check_crc(cursor)
+                base_offset, entries = self._read_record(
+                    ref_pointer, reader, depth=depth + 1)
+                if base_offset != node_offset or len(entries) != count:
+                    raise PageCorruptError(
+                        "packed V-page reference record mismatch")
+                for index, entry in diffs:
+                    entries[index] = entry
+            else:
+                entries = []
+                for _ in range(count):
+                    dov = _F32.unpack(cursor.take(4))[0]
+                    nvo = cursor.varint()
+                    entries.append((dov, nvo))
+                self._check_crc(cursor)
+        except struct.error as exc:     # pragma: no cover - defensive
+            raise PageCorruptError(
+                f"packed V-page record unreadable: {exc}") from exc
+        for dov, nvo in entries:
+            if not 0.0 <= dov <= 1.0 or nvo < 0:
+                raise PageCorruptError(
+                    f"packed V-page decoded invalid V-entry "
+                    f"({dov}, {nvo})")
+        return node_offset, entries
+
+    def _check_crc(self, cursor: _StreamCursor) -> None:
+        body = cursor.consumed()
+        stored = _CRC.unpack(cursor.take(_CRC.size))[0]
+        if zlib.crc32(body) != stored:
+            raise PageCorruptError("packed V-page record CRC mismatch")
+
+    # -- reporting ----------------------------------------------------------
+
+    def storage_vpage_bytes(self, page_size: int, total_vpages: int) -> int:
+        pages = max((self.stream_length + page_size - 1) // page_size, 1)
+        return page_size * pages
+
+    def compression_stats(self) -> Dict[str, float]:
+        raw = self.records * self.page_size
+        encoded = self.stream_length
+        return {
+            "codec": self.kind,
+            "records": self.records,
+            "self_records": self.self_records,
+            "delta_records": self.delta_records,
+            "raw_bytes": raw,
+            "encoded_bytes": encoded,
+            "ratio": (encoded / raw) if raw else 1.0,
+        }

@@ -62,6 +62,11 @@ class FrameRecord:
     #: the frame's governing query: non-query frames rendering a
     #: degraded answer set count as degraded too.
     degraded: int = 0
+    #: Direction split of this frame's non-sequential accesses across
+    #: both I/O classes (light + heavy); ``back_seeks`` is the number a
+    #: layout rewrite targets.  Defaults keep older callers valid.
+    back_seeks: int = 0
+    forward_seeks: int = 0
 
     @property
     def total_ios(self) -> int:

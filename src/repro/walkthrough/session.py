@@ -179,20 +179,72 @@ def back_forward_walkthrough(bounds: AABB, *, num_frames: int = 120,
     return Session("session-3-back-forward", tuple(waypoints))
 
 
+def loop_walkthrough(bounds: AABB, *, num_frames: int = 120,
+                     eye_height: float = 1.7,
+                     street_pitch: Optional[float] = None) -> Session:
+    """Session 4: one lap of a rectangular street circuit.
+
+    The loop traverses each leg once per lap — +x along a low y-street,
+    +y up a high x-street, -x along a high y-street, -y back down — so
+    unlike sessions 1-3 (monotone or palindromic in cell id) its cell
+    trace crosses most grid-adjacent cell pairs in *one* direction.
+    That makes it the canonical workload for the disk-layout rewriter:
+    a row-major V-page layout pays a back-seek on every step of the -x
+    and -y legs, while a tour-ordered layout pays roughly one per lap
+    (closing the loop).  ``repro layout`` and the layout benchmark use
+    it as their default walkthrough.
+    """
+    ys = street_lines(bounds, street_pitch, axis=1)
+    xs = street_lines(bounds, street_pitch, axis=0)
+    # Corner streets: ~1/4 and ~3/4 through the interior lines, kept
+    # distinct whenever at least two lines exist on the axis.
+    y_lo = ys[len(ys) // 4]
+    y_hi = ys[(3 * len(ys)) // 4] if len(ys) > 1 else y_lo
+    x_lo = xs[len(xs) // 4]
+    x_hi = xs[(3 * len(xs)) // 4] if len(xs) > 1 else x_lo
+    corners = [(x_lo, y_lo), (x_hi, y_lo), (x_hi, y_hi), (x_lo, y_hi)]
+    legs = []
+    for index, (cx, cy) in enumerate(corners):
+        nx, ny = corners[(index + 1) % len(corners)]
+        length = float(np.hypot(nx - cx, ny - cy))
+        legs.append(((cx, cy), (nx, ny), length))
+    total = sum(length for _start, _end, length in legs)
+    if total <= 0.0:
+        # Degenerate bounds (a single street cell): stand still, look +x.
+        point = (float(x_lo), float(y_lo), eye_height)
+        return Session("session-4-loop", tuple(
+            Waypoint(point, _direction(1.0, 0.0))
+            for _ in range(num_frames)))
+    waypoints: List[Waypoint] = []
+    for t in np.linspace(0.0, 1.0, num_frames, endpoint=False):
+        s = t * total
+        for (cx, cy), (nx, ny), length in legs:
+            if s <= length or (cx, cy) == legs[-1][0]:
+                f = min(s / length, 1.0) if length > 0 else 0.0
+                waypoints.append(Waypoint(
+                    (float(cx + (nx - cx) * f), float(cy + (ny - cy) * f),
+                     eye_height),
+                    _direction(nx - cx, ny - cy)))
+                break
+            s -= length
+    return Session("session-4-loop", tuple(waypoints))
+
+
 SESSION_BUILDERS = {
     1: normal_walkthrough,
     2: turning_walkthrough,
     3: back_forward_walkthrough,
+    4: loop_walkthrough,
 }
 
 
 def make_session(session_number: int, bounds: AABB, *,
                  num_frames: int = 120, eye_height: float = 1.7,
                  street_pitch: Optional[float] = None) -> Session:
-    """Build session 1, 2 or 3 over the given environment bounds."""
+    """Build session 1, 2, 3 or 4 over the given environment bounds."""
     builder = SESSION_BUILDERS.get(session_number)
     if builder is None:
         raise WalkthroughError(
-            f"unknown session {session_number}; choose 1, 2 or 3")
+            f"unknown session {session_number}; choose 1, 2, 3 or 4")
     return builder(bounds, num_frames=num_frames, eye_height=eye_height,
                    street_pitch=street_pitch)

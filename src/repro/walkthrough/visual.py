@@ -161,6 +161,8 @@ class VisualSystem:
                 resident_bytes=(self.delta.resident_bytes
                                 + self.delta.search.scheme.resident_bytes()),
                 degraded=last_degraded,
+                back_seeks=light.back_seeks + heavy.back_seeks,
+                forward_seeks=light.forward_seeks + heavy.forward_seeks,
             ))
         return WalkthroughReport(system=f"VISUAL(eta={self.eta})",
                                  session=session.name, frames=frames)
@@ -219,6 +221,8 @@ class ReviewWalkthrough:
                 search_ms=io_ms,
                 fidelity=last_fidelity,
                 resident_bytes=self.review.resident_bytes,
+                back_seeks=light.back_seeks + heavy.back_seeks,
+                forward_seeks=light.forward_seeks + heavy.forward_seeks,
             ))
         return WalkthroughReport(
             system=f"REVIEW(box={self.review.box_size:g}m)",

@@ -40,6 +40,17 @@ def small_env(small_scene, small_grid):
     return build_environment(small_scene, small_grid, config)
 
 
+@pytest.fixture(scope="session")
+def small_env_packed(small_scene, small_grid):
+    """The same environment built with delta-compressed V-pages."""
+    config = HDoVConfig(
+        dov_resolution=16,
+        schemes=("vertical", "indexed-vertical"),
+        compress_vpages=True,
+    )
+    return build_environment(small_scene, small_grid, config)
+
+
 @pytest.fixture()
 def env(small_env):
     """Per-test view of the shared environment with clean stats."""
@@ -47,3 +58,11 @@ def env(small_env):
     for scheme in small_env.schemes.values():
         scheme.reset_io_head()
     return small_env
+
+
+@pytest.fixture()
+def env_packed(small_env_packed):
+    small_env_packed.reset_stats()
+    for scheme in small_env_packed.schemes.values():
+        scheme.reset_runtime_state()
+    return small_env_packed

@@ -1,4 +1,4 @@
-"""Tests for the ``repro lint`` rule suite (RPR001-RPR013).
+"""Tests for the ``repro lint`` rule suite (RPR001-RPR014).
 
 Every registered rule must have at least one *triggering* and one
 *non-triggering* fixture here — ``test_every_rule_has_fixtures`` fails
@@ -25,7 +25,7 @@ REPO_SRC = Path(__file__).resolve().parents[1] / "src"
 
 ALL_CODES = {"RPR001", "RPR002", "RPR003", "RPR004", "RPR005",
              "RPR006", "RPR007", "RPR008", "RPR009", "RPR010",
-             "RPR011", "RPR012", "RPR013"}
+             "RPR011", "RPR012", "RPR013", "RPR014"}
 
 
 def write_module(root: Path, relpath: str, source: str) -> Path:
@@ -374,6 +374,33 @@ FIXTURES = {
                 seen = {k for k in keys}
                 return [k for k in sorted(seen)]
             """)],
+    },
+    "RPR014": {
+        # A scheme decoding V-page bytes itself hard-codes the raw
+        # layout — the exact pattern PR 9 removed from the schemes.
+        "bad": [("scheme.py", """
+            from repro.storage.serializer import decode_vpage
+
+            def ventries(scheme, data):
+                return decode_vpage(data)
+            """)],
+        "good": [
+            ("scheme.py", """
+                def ventries(scheme, pointer, node_offset):
+                    return scheme.codec.read(pointer, scheme, node_offset)
+                """),
+            # Inside the codec module itself the raw calls are the point.
+            ("repro/storage/vpagecodec.py", """
+                from repro.storage.serializer import (decode_vpage,
+                                                      encode_vpage)
+
+                def decode_page(data):
+                    return decode_vpage(data)
+
+                def encode_page(entries, page_size):
+                    return encode_vpage(entries, page_size)
+                """),
+        ],
     },
 }
 
@@ -730,6 +757,32 @@ def test_rpr013_flags_fs_enumeration(tmp_path):
             return [name for name in os.listdir(root)]
         """)])
     assert "RPR013" in codes
+
+
+def test_rpr014_flags_attribute_calls(tmp_path):
+    codes = lint_codes(tmp_path, [("poker.py", """
+        from repro.storage import serializer
+
+        def peek(data):
+            return serializer.decode_vpage(data)
+        """)])
+    assert "RPR014" in codes
+
+
+def test_rpr014_serializer_module_is_exempt(tmp_path):
+    # The serializer owns the raw byte layout; its own definition and
+    # self-use of encode_vpage/decode_vpage are not violations.
+    codes = lint_codes(tmp_path, [("repro/storage/serializer.py", """
+        def encode_vpage(entries, page_size):
+            return b""
+
+        def decode_vpage(data):
+            return []
+
+        def roundtrip(entries, page_size):
+            return decode_vpage(encode_vpage(entries, page_size))
+        """)])
+    assert "RPR014" not in codes
 
 
 # -- driver: file collection, RPR000, pragmas, baseline, CLI ----------------

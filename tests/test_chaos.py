@@ -53,6 +53,30 @@ def test_chaos_blackout_plan_gives_up_but_survives():
     assert sum(resilience["giveups"].values()) > 0
 
 
+def test_chaos_compressed_build_survives():
+    """Faults landing on packed delta records must degrade through the
+    same ladder as raw pages — never decode silently wrong."""
+    report = run_chaos(frames=20, plan="aggressive", seed=7,
+                       compress=True)
+    assert report["chaos"]["compress"] is True
+    assert report["faults"]["total_injected"] > 0
+    assert report["invariants"]["ok"] is True
+
+
+def test_chaos_compressed_same_seed_identical_report():
+    first = run_chaos(frames=10, plan="aggressive", seed=3, compress=True)
+    second = run_chaos(frames=10, plan="aggressive", seed=3, compress=True)
+    assert json.dumps(first, sort_keys=True) \
+        == json.dumps(second, sort_keys=True)
+
+
+def test_chaos_compressed_loop_session_survives():
+    report = run_chaos(frames=20, plan="aggressive", seed=1, session=4,
+                       compress=True)
+    assert report["chaos"]["session"] == "session-4-loop"
+    assert report["invariants"]["ok"] is True
+
+
 def test_chaos_unknown_plan_raises_before_building():
     with pytest.raises(StorageError):
         run_chaos(plan="no-such-plan")

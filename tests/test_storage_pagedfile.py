@@ -220,6 +220,121 @@ def test_close_flushes_fsyncs_and_is_idempotent(tmp_path, monkeypatch):
         assert again.read_page(pid).startswith(b"must survive")
 
 
+# -- seek direction classification ------------------------------------------
+#
+# The layout rewriter's target metric: every non-sequential access is
+# either a back seek (target below the head) or a forward seek (target
+# at/above the head, or a cold/reset head).  The invariant
+# ``seeks == back_seeks + forward_seeks`` must hold everywhere.
+
+
+def check_split(stats):
+    assert stats.seeks == stats.back_seeks + stats.forward_seeks
+
+
+def test_seek_classification_matrix():
+    """One file, every access shape the classifier distinguishes."""
+    pf = PagedFile("matrix", page_size=256,
+                   disk=DiskModel(seek_ms=10.0, transfer_ms=1.0,
+                                  readahead_pages=4),
+                   stats=IOStats())
+    pf.allocate_many(30)
+    pf.stats.reset()
+    pf.read_page(10)    # cold head: forward seek
+    pf.read_page(10)    # same page: sequential (zero delta)
+    pf.read_page(11)    # +1: sequential
+    pf.read_page(15)    # +4 == window edge: sequential
+    pf.read_page(20)    # +5 > window: forward seek
+    pf.read_page(19)    # -1: back seek (no backward read-ahead)
+    pf.read_page(5)     # far backward: back seek
+    pf.read_page(25)    # forward again: forward seek
+    assert pf.stats.reads == 8
+    assert pf.stats.sequential_reads == 3
+    assert pf.stats.seeks == 5
+    assert pf.stats.forward_seeks == 3
+    assert pf.stats.back_seeks == 2
+    check_split(pf.stats)
+
+
+def test_cold_and_reset_heads_are_forward_seeks():
+    pf = make_file()
+    pf.allocate_many(5)
+    pf.stats.reset()
+    pf.read_page(4)     # cold: forward, even though 4 > nothing
+    pf.reset_head()
+    pf.read_page(0)     # after reset: forward, even though 0 < 4
+    assert pf.stats.back_seeks == 0
+    assert pf.stats.forward_seeks == 2
+    check_split(pf.stats)
+
+
+def test_writes_classify_direction_too():
+    pf = make_file()
+    pf.allocate_many(4)
+    pf.stats.reset()
+    pf.write_page(3, b"a")   # cold: forward seek
+    pf.write_page(1, b"b")   # backward
+    pf.read_page(2)          # +1: sequential (read-ahead window)
+    pf.write_page(0, b"c")   # backward again
+    assert pf.stats.sequential_reads == 1
+    assert pf.stats.back_seeks == 2
+    assert pf.stats.forward_seeks == 1
+    check_split(pf.stats)
+
+
+def test_cross_file_interleaving_keeps_heads_independent():
+    """Each file has its own head: interleaved accesses on a second
+    file never turn the first file's sequential scan into seeks."""
+    stats = IOStats()
+    disk = DiskModel(seek_ms=10.0, transfer_ms=1.0, readahead_pages=1)
+    a = PagedFile("file-a", page_size=256, disk=disk, stats=stats)
+    b = PagedFile("file-b", page_size=256, disk=disk, stats=stats)
+    a.allocate_many(4)
+    b.allocate_many(4)
+    stats.reset()
+    a.read_page(0)      # forward (cold a)
+    b.read_page(3)      # forward (cold b)
+    a.read_page(1)      # sequential on a despite b moving in between
+    b.read_page(2)      # back seek on b
+    a.read_page(2)      # sequential on a
+    assert stats.sequential_reads == 2
+    assert stats.back_seeks == 1
+    assert stats.forward_seeks == 2
+    check_split(stats)
+
+
+def test_back_seek_costing_asymmetric():
+    pf = PagedFile("asym", page_size=256,
+                   disk=DiskModel(seek_ms=10.0, transfer_ms=1.0,
+                                  readahead_pages=1, back_seek_ms=25.0),
+                   stats=IOStats())
+    pf.allocate_many(5)
+    pf.stats.reset()
+    pf.read_page(3)     # forward: 10 + 1
+    pf.read_page(0)     # backward: 25 + 1
+    assert pf.stats.simulated_ms == pytest.approx(11.0 + 26.0)
+
+
+def test_back_seek_default_matches_seed_costing():
+    """back_seek_ms=None re-prices nothing: totals equal the pre-split
+    model where every seek cost seek_ms."""
+    pf = make_file()
+    pf.allocate_many(5)
+    pf.stats.reset()
+    pf.read_page(3)
+    pf.read_page(0)
+    pf.read_page(4)
+    assert pf.stats.seeks == 3
+    assert pf.stats.simulated_ms == pytest.approx(3 * 11.0)
+
+
+def test_back_seek_ms_below_seek_ms_rejected():
+    with pytest.raises(ValueError):
+        DiskModel(seek_ms=8.0, back_seek_ms=4.0)
+    # Equal is the boundary case and fine.
+    DiskModel(seek_ms=8.0, back_seek_ms=8.0)
+
+
 def test_iostats_delta():
     stats = IOStats()
     disk = DiskModel()

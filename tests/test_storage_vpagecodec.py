@@ -1,0 +1,303 @@
+"""Packed delta V-page codec tests: round trips, delta designation,
+corruption (bit flips, torn writes, truncation, bad headers, deep
+reference chains) — nothing may ever decode silently wrong."""
+
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import PageCorruptError, SchemeError
+from repro.storage.disk import DiskModel, IOStats
+from repro.storage.pagedfile import PagedFile
+from repro.storage.vpagecodec import (PACKED_VERSION, PackedDeltaVPageCodec,
+                                      RawVPageCodec, _encode_varint)
+
+PAGE_SIZE = 256
+
+
+class FileReader:
+    """Minimal PageReader over a PagedFile (no scheme cache)."""
+
+    def __init__(self, pf):
+        self._pf = pf
+
+    def vpage_page(self, page_id):
+        return self._pf.read_page(page_id)
+
+
+def make_file(name="packed-v"):
+    return PagedFile(name, page_size=PAGE_SIZE,
+                     disk=DiskModel(seek_ms=0.0, transfer_ms=0.0),
+                     stats=IOStats())
+
+
+def entries_for(cell_id, count=6):
+    return [(round(0.1 + 0.05 * ((i + cell_id) % 7), 4), i + 1)
+            for i in range(count)]
+
+
+def build_stream(cells, neighbors=None):
+    """Write one V-page per cell at node offset 0; returns
+    (codec, file, {cell: pointer})."""
+    pf = make_file()
+    codec = PackedDeltaVPageCodec(PAGE_SIZE, neighbors or {},
+                                  scheme="test")
+    pointers = {}
+    for cell_id, ventries in cells.items():
+        codec.begin_cell(cell_id)
+        pointers[cell_id] = codec.append(pf, cell_id, 0, ventries)
+    codec.finish(pf)
+    return codec, pf, pointers
+
+
+def test_self_record_roundtrip():
+    cells = {0: entries_for(0)}
+    codec, pf, pointers = build_stream(cells)
+    offset, got = codec.read(pointers[0], FileReader(pf))
+    assert offset == 0
+    assert got == [(pytest.approx(d), n) for d, n in cells[0]]
+    assert codec.self_records == 1
+    assert codec.delta_records == 0
+
+
+def test_delta_record_roundtrip_exact():
+    base = entries_for(0)
+    changed = list(base)
+    changed[2] = (0.9, 42)          # one entry differs
+    cells = {0: base, 1: changed}
+    codec, pf, pointers = build_stream(cells, neighbors={0: [1], 1: [0]})
+    assert codec.delta_records == 1
+    reader = FileReader(pf)
+    _, got_base = codec.read(pointers[0], reader)
+    _, got_delta = codec.read(pointers[1], reader)
+    # f32 quantization applies identically to both paths, so the delta
+    # decode is bit-identical to a self decode of the same entries.
+    assert got_delta[2] == (pytest.approx(0.9), 42)
+    assert got_delta[:2] == got_base[:2]
+    assert got_delta[3:] == got_base[3:]
+
+
+def test_delta_requires_matching_entry_count():
+    cells = {0: entries_for(0, count=6), 1: entries_for(1, count=5)}
+    codec, _pf, _ = build_stream(cells, neighbors={0: [1], 1: [0]})
+    assert codec.delta_records == 0
+    assert codec.self_records == 2
+
+
+def test_delta_must_be_strictly_smaller():
+    # Every entry differs: the diff list costs more than self-encoding,
+    # so the writer falls back.
+    base = entries_for(0)
+    cells = {0: base, 1: [(0.99, n + 100) for _d, n in base]}
+    codec, pf, pointers = build_stream(cells, neighbors={0: [1], 1: [0]})
+    assert codec.delta_records == 0
+    _, got = codec.read(pointers[1], FileReader(pf))
+    assert got[0][1] == 101
+
+
+def test_compression_stats_consistent():
+    cells = {c: entries_for(c) for c in range(4)}
+    codec, _pf, _ = build_stream(
+        cells, neighbors={0: [1], 1: [0, 2], 2: [1, 3], 3: [2]})
+    stats = codec.compression_stats()
+    assert stats["records"] == 4
+    assert stats["self_records"] + stats["delta_records"] == 4
+    assert stats["encoded_bytes"] == codec.stream_length
+    assert stats["raw_bytes"] == 4 * PAGE_SIZE
+    assert 0.0 < stats["ratio"] < 1.0
+
+
+def test_storage_bytes_page_rounded():
+    cells = {0: entries_for(0)}
+    codec, _pf, _ = build_stream(cells)
+    assert codec.storage_vpage_bytes(PAGE_SIZE, 1) == PAGE_SIZE
+    assert codec.stream_length < PAGE_SIZE
+
+
+# -- writer misuse -----------------------------------------------------------
+
+
+def test_append_without_begin_cell_rejected():
+    pf = make_file()
+    codec = PackedDeltaVPageCodec(PAGE_SIZE, {})
+    with pytest.raises(SchemeError):
+        codec.append(pf, 0, 0, entries_for(0))
+
+
+def test_append_after_finish_rejected():
+    codec, pf, _ = build_stream({0: entries_for(0)})
+    with pytest.raises(SchemeError):
+        codec.append(pf, 0, 1, entries_for(0))
+    with pytest.raises(SchemeError):
+        codec.finish(pf)
+
+
+def test_tiny_page_size_rejected():
+    with pytest.raises(SchemeError):
+        PackedDeltaVPageCodec(8, {})
+
+
+def test_invalid_entries_rejected_at_encode():
+    pf = make_file()
+    codec = PackedDeltaVPageCodec(PAGE_SIZE, {})
+    codec.begin_cell(0)
+    with pytest.raises(SchemeError):
+        codec.append(pf, 0, 0, [(1.5, 1)])     # DoV out of [0, 1]
+    with pytest.raises(SchemeError):
+        codec.append(pf, 0, 0, [(0.5, -1)])    # negative NVO
+
+
+def test_varint_rejects_negative():
+    with pytest.raises(SchemeError):
+        _encode_varint(-1)
+    # u32 maximum round-trips through the encoder shape (5 bytes).
+    assert len(_encode_varint(0xFFFFFFFF)) == 5
+    assert _encode_varint(0) == b"\x00"
+
+
+# -- corruption --------------------------------------------------------------
+
+
+def corrupt_byte(pf, page_id, index):
+    page = bytearray(pf.read_page(page_id))
+    page[index] ^= 0xFF
+    pf.write_page(page_id, bytes(page))
+
+
+def test_bit_flip_raises_page_corrupt():
+    codec, pf, pointers = build_stream({0: entries_for(0)})
+    corrupt_byte(pf, 0, 6)          # inside the payload: CRC catches it
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def test_torn_write_raises_page_corrupt():
+    # Zero the page from mid-record on (a torn write): the payload and
+    # CRC are gone, so the CRC check fires — never silent garbage.
+    codec, pf, pointers = build_stream(
+        {c: entries_for(c) for c in range(3)})
+    cut = pointers[2] + 4
+    page = bytearray(pf.read_page(0))
+    page[cut:] = bytes(len(page) - cut)
+    pf.write_page(0, bytes(page))
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[2], FileReader(pf))
+
+
+def test_pointer_outside_stream_raises():
+    codec, pf, _ = build_stream({0: entries_for(0)})
+    with pytest.raises(PageCorruptError):
+        codec.read(codec.stream_length, FileReader(pf))
+    with pytest.raises(PageCorruptError):
+        codec.read(-1, FileReader(pf))
+
+
+def test_truncated_stream_raises():
+    # A record that starts 10 bytes before the end of the stream's last
+    # page but needs more: the cursor hits the stream end mid-record.
+    head = (bytes((PACKED_VERSION, 0)) + _encode_varint(0)
+            + _encode_varint(6))
+    pointer = PAGE_SIZE - 10
+    page = bytes(pointer) + head + bytes(10 - len(head))
+    pf = make_file("truncated")
+    pf.allocate_many(1)
+    pf.write_page(0, page)
+    codec = PackedDeltaVPageCodec(PAGE_SIZE, {})
+    codec.stream_length = PAGE_SIZE
+    codec.first_page = 0
+    with pytest.raises(PageCorruptError):
+        codec.read(pointer, FileReader(pf))
+
+
+def test_bad_version_raises():
+    codec, pf, pointers = build_stream({0: entries_for(0)})
+    page = bytearray(pf.read_page(0))
+    page[pointers[0]] = PACKED_VERSION + 1
+    pf.write_page(0, bytes(page))
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def _record(body):
+    return body + struct.pack("<I", zlib.crc32(body))
+
+
+def hand_stream(records):
+    """Install hand-crafted records into a codec + file; returns
+    (codec, file, [pointer per record])."""
+    stream = b""
+    pointers = []
+    for body in records:
+        pointers.append(len(stream))
+        stream += _record(body)
+    pf = make_file("hand")
+    pages = (len(stream) + PAGE_SIZE - 1) // PAGE_SIZE
+    pf.allocate_many(pages)
+    for i in range(pages):
+        pf.write_page(i, stream[i * PAGE_SIZE:(i + 1) * PAGE_SIZE])
+    codec = PackedDeltaVPageCodec(PAGE_SIZE, {})
+    codec.stream_length = len(stream)
+    codec.first_page = 0
+    return codec, pf, pointers
+
+
+def test_unknown_flags_raise():
+    body = bytes((PACKED_VERSION, 0x04)) + _encode_varint(0) \
+        + _encode_varint(0)
+    codec, pf, pointers = hand_stream([body])
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def test_reference_chain_deeper_than_one_raises():
+    f32 = struct.Struct("<f")
+    self_body = (bytes((PACKED_VERSION, 0)) + _encode_varint(0)
+                 + _encode_varint(1) + f32.pack(0.5) + _encode_varint(1))
+    rec_a = _record(self_body)
+    # B: delta vs A with zero diffs (legal, depth 1).
+    delta_b = (bytes((PACKED_VERSION, 1)) + _encode_varint(0)
+               + _encode_varint(1) + _encode_varint(0)
+               + _encode_varint(0))
+    rec_b = _record(delta_b)
+    # C: delta vs B — a chain of depth 2 the decoder must refuse.
+    delta_c = (bytes((PACKED_VERSION, 1)) + _encode_varint(0)
+               + _encode_varint(1) + _encode_varint(len(rec_a))
+               + _encode_varint(0))
+    codec, pf, pointers = hand_stream([self_body, delta_b, delta_c])
+    reader = FileReader(pf)
+    assert codec.read(pointers[1], reader) == (0, [(0.5, 1)])
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[2], reader)
+    del rec_b
+
+
+def test_implausible_entry_count_raises():
+    body = (bytes((PACKED_VERSION, 0)) + _encode_varint(0)
+            + _encode_varint(PAGE_SIZE + 1))
+    codec, pf, pointers = hand_stream([body])
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def test_overlong_varint_raises():
+    body = bytes((PACKED_VERSION, 0)) + b"\x80\x80\x80\x80\x80\x01"
+    codec, pf, pointers = hand_stream([body])
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def test_decoded_out_of_range_entry_raises():
+    # CRC-valid record whose DoV is > 1: the semantic check still fires.
+    f32 = struct.Struct("<f")
+    body = (bytes((PACKED_VERSION, 0)) + _encode_varint(3)
+            + _encode_varint(1) + f32.pack(7.5) + _encode_varint(1))
+    codec, pf, pointers = hand_stream([body])
+    with pytest.raises(PageCorruptError):
+        codec.read(pointers[0], FileReader(pf))
+
+
+def test_raw_codec_stats_are_identity():
+    stats = RawVPageCodec().compression_stats()
+    assert stats["ratio"] == 1.0
+    assert stats["records"] == 0

@@ -27,7 +27,7 @@ def test_make_session_builds_all_three(small_scene):
 
 def test_make_session_unknown_number(small_scene):
     with pytest.raises(WalkthroughError):
-        make_session(4, small_scene.bounds())
+        make_session(5, small_scene.bounds())
 
 
 def test_sessions_differ(small_scene):
