@@ -73,6 +73,24 @@ TRACKED: Tuple[Tuple[str, str, str], ...] = (
     ("BENCH_layout.json",
      "schemes.vertical.compression_inverse_ratio",
      "layout: packed stream compression, vertical"),
+    # Replacement/prefetch A/B grid (pool pressure, simulated and
+    # deterministic): per-policy hit rates and throughput, plus the
+    # heavy-byte ratio of plain LRU over 2Q+prefetch (lower heavy
+    # traffic reads higher-is-better).
+    ("BENCH_replacement.json", "grid.32.cells.lru/off.pool_hit_rate",
+     "replacement: LRU hit rate, 32 sessions"),
+    ("BENCH_replacement.json", "grid.32.cells.2q/off.pool_hit_rate",
+     "replacement: 2Q hit rate, 32 sessions"),
+    ("BENCH_replacement.json", "grid.64.cells.2q/on.pool_hit_rate",
+     "replacement: 2Q+prefetch hit rate, 64 sessions"),
+    ("BENCH_replacement.json", "grid.32.hit_rate_gain_2q",
+     "replacement: 2Q hit-rate gain over LRU, 32 sessions"),
+    ("BENCH_replacement.json", "grid.32.heavy_bytes_improvement",
+     "replacement: heavy-byte ratio LRU/off over 2Q/on, 32 sessions"),
+    ("BENCH_replacement.json", "grid.64.cells.2q/on.sim_frames_per_s",
+     "replacement: sim frames/s, 2Q+prefetch, 64 sessions"),
+    ("BENCH_replacement.json", "grid.64.cells.2q/on.useful_ratio",
+     "replacement: prefetch useful ratio, 2Q, 64 sessions"),
 )
 
 
@@ -127,6 +145,9 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--max-regression", type=float, default=0.15,
                         help="allowed fractional drop per metric "
                              "(default: 0.15)")
+    parser.add_argument("--table-output", default=None, metavar="FILE",
+                        help="also write the delta table to FILE "
+                             "(uploaded as a CI build artifact)")
     args = parser.parse_args(argv)
 
     try:
@@ -150,6 +171,9 @@ def main(argv: List[str] = None) -> int:
 
     table = format_table(rows, args.max_regression)
     print(table)
+    if args.table_output:
+        with open(args.table_output, "w") as fh:
+            fh.write(table + "\n")
     summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary_path:
         with open(summary_path, "a") as fh:

@@ -275,6 +275,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--pool-pages", type=int, default=256,
                        help="shared buffer-pool capacity in pages "
                             "(default: 256; 0 serves unpooled)")
+    serve.add_argument("--policy", default=None, choices=["lru", "2q"],
+                       help="pool replacement policy (default: the "
+                            "scale's, normally lru)")
+    serve.add_argument("--prefetch", action="store_true", default=None,
+                       help="enable cross-session predictive pool "
+                            "prefetch (default: the scale's, normally "
+                            "off)")
     serve.add_argument("--plan", default=None,
                        help="optional fault plan to serve under "
                             "(see 'repro chaos --list-plans')")
@@ -577,7 +584,9 @@ def cmd_serve(args) -> int:
                            frames=args.frames, scheme=args.scheme,
                            max_active=args.max_active,
                            frame_budget_ms=args.frame_budget_ms,
-                           pool_pages=args.pool_pages, plan=args.plan,
+                           pool_pages=args.pool_pages,
+                           policy=args.policy, prefetch=args.prefetch,
+                           plan=args.plan,
                            fault_seed=args.fault_seed)
     except ReproError as exc:
         # Bad arguments or an unknown plan name: a usage error.

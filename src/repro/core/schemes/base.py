@@ -273,6 +273,29 @@ class StorageScheme(abc.ABC):
     def _load_cell(self, cell_id: int) -> None:
         """Scheme-specific flip work (may be a no-op)."""
 
+    # -- speculative prefetch (serving) ---------------------------------------
+
+    def prefetch_pages(self, cell_id: int) -> List[int]:
+        """Index pages a flip to ``cell_id`` would read, in read order.
+
+        Pure addressing — no I/O.  The serving prefetcher feeds these to
+        ``BufferPool.prefetch`` so the flip's demand reads hit.  Empty
+        for schemes without a per-cell index (the horizontal scheme's
+        flips are free).
+        """
+        return []
+
+    def decode_cell_pointers(self, cell_id: int, data: bytes) -> List[int]:
+        """V-page pointers of ``cell_id`` from its raw index bytes.
+
+        ``data`` is the concatenation of the pages named by
+        :meth:`prefetch_pages`; decoding is pure, so the prefetcher can
+        chase index bytes it already holds into V-page prefetches
+        without charging demand reads.  Empty when the scheme keeps no
+        per-cell index.
+        """
+        return []
+
     def _capture_cell_state(self) -> Optional[object]:
         """Snapshot of the loaded per-cell state (``None`` when the
         scheme keeps none, like the horizontal scheme)."""

@@ -100,6 +100,21 @@ class IndexedVerticalScheme(StorageScheme):
         pairs = decode_index_pairs(data, pair_count)
         self._current_pairs = dict(pairs)
 
+    def prefetch_pages(self, cell_id: int) -> List[int]:
+        entry = self._directory.get(cell_id)
+        if entry is None:
+            return []
+        first, num_pages, _pair_count = entry
+        return list(range(first, first + num_pages))
+
+    def decode_cell_pointers(self, cell_id: int, data: bytes) -> List[int]:
+        entry = self._directory.get(cell_id)
+        if entry is None:
+            return []
+        _first, _num_pages, pair_count = entry
+        return [pointer for _offset, pointer
+                in decode_index_pairs(data, pair_count)]
+
     def _reset_cell_state(self) -> None:
         self._current_pairs = {}
 

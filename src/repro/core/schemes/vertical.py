@@ -107,6 +107,19 @@ class VerticalScheme(StorageScheme):
                                     self._segment_pages)
         self._current_segment = decode_pointer_array(data, self.num_nodes)
 
+    def prefetch_pages(self, cell_id: int) -> List[int]:
+        if self._index_first_page is None or \
+                not 0 <= cell_id < self.num_cells:
+            return []
+        first = self._segment_first_page(cell_id)
+        return list(range(first, first + self._segment_pages))
+
+    def decode_cell_pointers(self, cell_id: int, data: bytes) -> List[int]:
+        if not 0 <= cell_id < self.num_cells:
+            return []
+        pointers = decode_pointer_array(data, self.num_nodes)
+        return [pointer for pointer in pointers if pointer != NIL]
+
     def _reset_cell_state(self) -> None:
         self._current_segment = []
 

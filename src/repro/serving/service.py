@@ -30,6 +30,7 @@ from repro.obs.metrics import MetricsRegistry, use_registry
 from repro.obs.profile import _environment_files
 from repro.scene.city import generate_city
 from repro.serving.pooled import PooledNodeStore
+from repro.serving.prefetch import ServingPrefetcher
 from repro.serving.scheduler import SessionScheduler
 from repro.serving.session import ServingSession
 from repro.storage.buffer import BufferPool
@@ -71,6 +72,8 @@ def _stats_dict(stats: IOStats) -> Dict[str, object]:
         "writes": stats.writes,
         "seeks": stats.seeks,
         "sequential_reads": stats.sequential_reads,
+        "bytes_read": stats.bytes_read,
+        "bytes_written": stats.bytes_written,
         "simulated_ms": stats.simulated_ms,
     }
 
@@ -87,6 +90,9 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
               max_active: Optional[int] = None,
               frame_budget_ms: Optional[float] = None,
               pool_pages: int = 256,
+              policy: Optional[str] = None,
+              prefetch: Optional[bool] = None,
+              prefetch_max_vpages: int = 8,
               plan: Optional[str] = None,
               fault_seed: int = 0,
               include_frame_times: bool = True) -> Dict[str, object]:
@@ -112,6 +118,17 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
         Shared buffer-pool capacity in pages; 0 serves unpooled (every
         session reads straight through ``pageio``, the sequential
         path's exact I/O behaviour).
+    policy:
+        Pool replacement policy (``"lru"``/``"2q"``); ``None`` takes
+        the scale config's ``serving_policy`` (default ``"lru"``, the
+        historical behavior, byte for byte).
+    prefetch:
+        Enable the cross-session predictive pool prefetcher; ``None``
+        takes the scale config's ``serving_prefetch`` (default off).
+        Requires a pool.
+    prefetch_max_vpages:
+        V-pages chased per predicted cell per round (see
+        ``repro.serving.prefetch``).
     plan / fault_seed:
         Optional named fault plan installed beneath the storage layer,
         to prove the service degrades instead of deadlocking.
@@ -130,6 +147,17 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
             f"pool_pages must be >= 0, got {pool_pages}")
     fault_plan = named_plan(plan) if plan is not None else None
     experiment = get_scale(scale)
+    effective_policy = (policy if policy is not None
+                        else experiment.serving_policy)
+    effective_prefetch = (prefetch if prefetch is not None
+                          else experiment.serving_prefetch)
+    if pool_pages == 0:
+        if policy is not None and policy != "lru":
+            raise WalkthroughError(
+                "replacement policy needs a pool (pool_pages > 0)")
+        if effective_prefetch:
+            raise WalkthroughError(
+                "prefetch needs a pool (pool_pages > 0)")
     registry = MetricsRegistry()
     with use_registry(registry):
         scene = generate_city(experiment.city)
@@ -137,8 +165,12 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
         env = build_environment(scene, grid, experiment.hdov)
         num_frames = (frames if frames is not None
                       else experiment.session_frames)
-        pool = (BufferPool(pool_pages, name="serving")
+        pool = (BufferPool(pool_pages, name="serving",
+                           policy=effective_policy)
                 if pool_pages > 0 else None)
+        prefetcher = (ServingPrefetcher(pool, env,
+                                        max_vpages=prefetch_max_vpages)
+                      if effective_prefetch and pool is not None else None)
 
         # Motion patterns are drawn from the seed so a fleet of
         # sessions exercises all three of the paper's patterns.
@@ -153,7 +185,7 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
             view = session_env(env, pool)
             served.append(ServingSession(
                 session_id, path, view, eta=eta, scheme=scheme,
-                pool=pool,
+                pool=pool, prefetcher=prefetcher,
                 cache_budget_bytes=experiment.visual_cache_budget_bytes))
             m_sessions.inc()
 
@@ -167,7 +199,8 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
             injector.install(*files)
         scheduler = SessionScheduler(served, workers=workers,
                                      max_active=max_active,
-                                     frame_budget_ms=frame_budget_ms)
+                                     frame_budget_ms=frame_budget_ms,
+                                     prefetcher=prefetcher)
         error: Optional[str] = None
         try:
             scheduler.run()
@@ -192,6 +225,8 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
                 "max_active": scheduler.max_active,
                 "frame_budget_ms": frame_budget_ms,
                 "pool_pages": pool_pages,
+                "policy": (pool.policy.name if pool is not None else None),
+                "prefetch": bool(prefetcher is not None),
                 "plan": fault_plan.name if fault_plan is not None else None,
                 "fault_seed": fault_seed if fault_plan is not None else None,
             },
@@ -204,7 +239,9 @@ def run_serve(*, sessions: int = 8, workers: int = 4, seed: int = 7,
             "sessions": [session_report(s, include_frame_times)
                          for s in served],
             "pool": _pool_report(pool),
-            "reconciliation": _reconcile(env, served, pool),
+            "prefetch": (prefetcher.report()
+                         if prefetcher is not None else None),
+            "reconciliation": _reconcile(env, served, pool, prefetcher),
         }
         if injector is not None:
             report["faults"] = {
@@ -252,40 +289,57 @@ def _pool_report(pool: Optional[BufferPool]) -> Optional[Dict[str, object]]:
         return None
     return {
         "capacity": pool.capacity,
+        "policy": pool.policy.name,
+        "policy_stats": pool.policy.stats(),
         "resident_pages": pool.resident_pages,
         "hits": pool.hits,
         "misses": pool.misses,
         "coalesced": pool.coalesced,
         "evictions": pool.evictions,
         "hit_rate": pool.hit_rate,
+        "prefetch": pool.prefetch_stats(),
     }
 
 
 def _reconcile(env: HDoVEnvironment, served: List[ServingSession],
-               pool: Optional[BufferPool]) -> Dict[str, object]:
+               pool: Optional[BufferPool],
+               prefetcher: Optional[ServingPrefetcher] = None,
+               ) -> Dict[str, object]:
     """Per-session attribution must add up to the shared ledgers.
 
     Integer I/O counts balance exactly (phase 1 is serialized, so the
     snapshot/delta windows partition the shared counters); simulated ms
-    balance within float-rounding tolerance.
+    balance within float-rounding tolerance.  With prefetch on, the
+    speculative batches' charges live in the prefetcher's own ledger —
+    never a session's — and are added back here, so the balance stays
+    exact instead of leaking the speculation into session attribution.
     """
     sum_light = IOStats()
     sum_heavy = IOStats()
-    for session in served:
-        for total, part in ((sum_light, session.light_total),
-                            (sum_heavy, session.heavy_total)):
+    parts_light = [session.light_total for session in served]
+    parts_heavy = [session.heavy_total for session in served]
+    if prefetcher is not None:
+        parts_light.append(prefetcher.light_total)
+        parts_heavy.append(prefetcher.heavy_total)
+    for total, parts in ((sum_light, parts_light),
+                         (sum_heavy, parts_heavy)):
+        for part in parts:
             total.reads += part.reads
             total.writes += part.writes
             total.seeks += part.seeks
             total.sequential_reads += part.sequential_reads
+            total.bytes_read += part.bytes_read
+            total.bytes_written += part.bytes_written
             total.simulated_ms += part.simulated_ms
     light_ok = (sum_light.reads == env.light_stats.reads
                 and sum_light.writes == env.light_stats.writes
                 and sum_light.seeks == env.light_stats.seeks
                 and sum_light.sequential_reads
-                == env.light_stats.sequential_reads)
+                == env.light_stats.sequential_reads
+                and sum_light.bytes_read == env.light_stats.bytes_read)
     heavy_ok = (sum_heavy.reads == env.heavy_stats.reads
-                and sum_heavy.writes == env.heavy_stats.writes)
+                and sum_heavy.writes == env.heavy_stats.writes
+                and sum_heavy.bytes_read == env.heavy_stats.bytes_read)
     ms_ok = (_ms_close(env.light_stats.simulated_ms,
                        sum_light.simulated_ms)
              and _ms_close(env.heavy_stats.simulated_ms,
@@ -299,6 +353,9 @@ def _reconcile(env: HDoVEnvironment, served: List[ServingSession],
         "heavy_ios_balanced": heavy_ok,
         "simulated_ms_balanced": ms_ok,
     }
+    if prefetcher is not None:
+        result["prefetch_light"] = _stats_dict(prefetcher.light_total)
+        result["prefetch_heavy"] = _stats_dict(prefetcher.heavy_total)
     if pool is not None:
         result["pool_balanced"] = (
             sum(s.pool_hits for s in served) == pool.hits

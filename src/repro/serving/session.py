@@ -28,9 +28,14 @@ from dataclasses import replace
 from functools import partial
 from typing import Callable, List, Optional
 
+from typing import TYPE_CHECKING
+
 from repro.core.delta import DeltaSearch
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.search import HDoVSearch, SearchResult
+
+if TYPE_CHECKING:
+    from repro.serving.prefetch import ServingPrefetcher
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.buffer import BufferPool
@@ -75,12 +80,14 @@ class ServingSession:
                  pool: Optional[BufferPool] = None,
                  frame_model: Optional[FrameModel] = None,
                  cache_budget_bytes: Optional[int] = None,
-                 evaluate_fidelity: bool = True) -> None:
+                 evaluate_fidelity: bool = True,
+                 prefetcher: Optional["ServingPrefetcher"] = None) -> None:
         self.session_id = session_id
         self.path = path
         self.env = env
         self.eta = eta
         self.pool = pool
+        self.prefetcher = prefetcher
         self.frame_model = frame_model or FrameModel()
         self.evaluate_fidelity = evaluate_fidelity
         searcher = HDoVSearch(env, scheme, fetch_models=False)
@@ -184,6 +191,11 @@ class ServingSession:
         ))
         self.last_frame_ms = frame_ms
         self.next_frame += 1
+        if self.prefetcher is not None:
+            # Planning only (no I/O): runs after the accounting window
+            # closes, so the session's ledger never sees prefetch work.
+            self.prefetcher.observe(self.session_id, cell_id, position,
+                                    self.delta.search.scheme)
         return thunk
 
     # -- phase 2 barrier -----------------------------------------------------

@@ -1,13 +1,21 @@
-"""Thread-safe LRU buffer pool over :class:`~repro.storage.pagedfile.PagedFile`.
+"""Thread-safe buffer pool over :class:`~repro.storage.pagedfile.PagedFile`.
 
 The walkthrough systems cache tree nodes and V-pages; the buffer pool
 makes cache hits free and tracks hit/miss counts.  Pages can be pinned to
 protect them from eviction while a traversal holds references.
 
+Replacement is pluggable (see :mod:`repro.storage.replacement`): the
+pool owns frames, pins, latches and locking, while a
+:class:`~repro.storage.replacement.ReplacementPolicy` owns only the
+eviction order.  The default ``"lru"`` policy reproduces the historical
+LRU pool bit-for-bit; ``"2q"`` adds scan resistance for the
+many-session undersized-pool regime.
+
 Concurrency model (see DESIGN.md §10):
 
 * one pool-wide :class:`threading.RLock` guards all frame-table state —
-  get/put/evict/unpin/flush/clear are linearized on it;
+  get/put/evict/unpin/flush/clear are linearized on it; the policy is
+  only ever called with this lock held;
 * a per-``(file, page)`` *in-flight read latch* gives single-flight
   reads: the first thread to miss a page becomes the owner and performs
   the disk read with the pool lock **released**; later threads faulting
@@ -18,20 +26,27 @@ Concurrency model (see DESIGN.md §10):
   calls into a :class:`PagedFile` while holding its lock only for
   eviction write-back; miss reads happen outside the pool lock so a slow
   read of one page never blocks hits on other pages.
+
+Speculative reads (:meth:`BufferPool.prefetch`) use the same
+single-flight path but none of the demand counters: an issued prefetch
+is counted ``prefetch_useful`` the first time a demand ``get`` consumes
+it (including by coalescing onto the in-flight latch) and
+``prefetch_wasted`` if it is evicted untouched — so demand hit/miss
+accounting stays comparable with prefetch on or off.
 """
 
 from __future__ import annotations
 
 import threading
-from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
 
 from repro.concurrency.witness import wrap_lock
 from repro.errors import BufferPoolError, BufferPoolExhaustedError
 from repro.obs import names
 from repro.obs.metrics import get_registry
 from repro.storage.pagedfile import PagedFile
+from repro.storage.replacement import ReplacementPolicy, make_policy
 
 #: Signature for a pluggable miss reader: ``reader(pfile, page_id) -> bytes``.
 #: The serving layer injects a reader that routes through the
@@ -45,6 +60,8 @@ class _Frame:
     data: bytes
     pin_count: int = 0
     dirty: bool = False
+    #: True while the frame holds unconsumed prefetched bytes.
+    speculative: bool = False
 
 
 @dataclass
@@ -53,15 +70,19 @@ class _Latch:
 
     The owner thread sets exactly one of ``data``/``error`` before
     signalling ``done``; waiters read the fields only after ``done``.
+    ``speculative``/``consumed`` track prefetch attribution: a demand
+    waiter on a speculative latch consumes the prefetch exactly once.
     """
 
     done: threading.Event = field(default_factory=threading.Event)
     data: Optional[bytes] = None
     error: Optional[BaseException] = None
+    speculative: bool = False
+    consumed: bool = False
 
 
 class BufferPool:
-    """Fixed-capacity page cache with LRU replacement, safe under threads.
+    """Fixed-capacity page cache with pluggable replacement, thread-safe.
 
     Keys are ``(file, page_id)`` pairs, so one pool can front several
     files (tree file, V-page file, object store) with a single memory
@@ -78,6 +99,10 @@ class BufferPool:
     name:
         Label for this pool's metrics series (hits, misses, evictions,
         pin churn) in the process metrics registry.
+    policy:
+        Replacement policy: ``"lru"`` (default, the historical
+        behavior), ``"2q"``, or a ready
+        :class:`~repro.storage.replacement.ReplacementPolicy` instance.
     """
 
     #: Lattice level of ``_lock`` (see repro.concurrency.order): below
@@ -85,21 +110,26 @@ class BufferPool:
     #: pool may write back into a PagedFile, a file never calls a pool.
     LOCK_LEVEL = "bufferpool"
 
-    def __init__(self, capacity: int, *, name: str = "default") -> None:
+    def __init__(self, capacity: int, *, name: str = "default",
+                 policy: Union[str, ReplacementPolicy] = "lru") -> None:
         if capacity < 1:
             raise BufferPoolError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.name = name
+        self._policy = make_policy(policy, capacity, name)
         self._lock = wrap_lock(threading.RLock(),
                                level=BufferPool.LOCK_LEVEL,
                                name=f"bufferpool:{name}")
-        self._frames: "OrderedDict[Tuple[int, int], _Frame]" = OrderedDict()
+        self._frames: Dict[Tuple[int, int], _Frame] = {}
         self._files: Dict[int, PagedFile] = {}
         self._latches: Dict[Tuple[int, int], _Latch] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.coalesced = 0
+        self.prefetch_issued = 0
+        self.prefetch_useful = 0
+        self.prefetch_wasted = 0
         registry = get_registry()
         self._m_hits = registry.counter(names.BUFFERPOOL_HITS, pool=name)
         self._m_misses = registry.counter(names.BUFFERPOOL_MISSES,
@@ -115,6 +145,16 @@ class BufferPool:
             names.BUFFERPOOL_COALESCED, pool=name)
         self._m_resident = registry.gauge(names.BUFFERPOOL_RESIDENT_PAGES,
                                           pool=name)
+        self._m_prefetch_issued = registry.counter(
+            names.BUFFERPOOL_PREFETCH_ISSUED, pool=name)
+        self._m_prefetch_useful = registry.counter(
+            names.BUFFERPOOL_PREFETCH_USEFUL, pool=name)
+        self._m_prefetch_wasted = registry.counter(
+            names.BUFFERPOOL_PREFETCH_WASTED, pool=name)
+
+    @property
+    def policy(self) -> ReplacementPolicy:
+        return self._policy
 
     # -- internals ------------------------------------------------------------
 
@@ -124,20 +164,26 @@ class BufferPool:
         return (fid, page_id)
 
     def _evict_one(self) -> None:
-        """Evict the least recently used unpinned frame.  Caller holds lock."""
-        for key, frame in self._frames.items():
-            if frame.pin_count == 0:
-                if frame.dirty:
-                    fid, page_id = key
-                    # Eviction write-back is the one sanctioned pool->file
-                    # call under the pool lock (DESIGN.md §10); miss reads
-                    # happen outside the lock via the single-flight latch.
-                    self._files[fid].write_page(page_id, frame.data)  # repro: ignore[RPR012]
-                    self._m_writebacks.inc()
-                del self._frames[key]
-                self.evictions += 1
-                self._m_evictions.inc()
-                return
+        """Evict the policy's best unpinned candidate.  Caller holds lock."""
+        for key in self._policy.victims():
+            frame = self._frames.get(key)
+            if frame is None or frame.pin_count != 0:
+                continue
+            if frame.dirty:
+                fid, page_id = key
+                # Eviction write-back is the one sanctioned pool->file
+                # call under the pool lock (DESIGN.md §10); miss reads
+                # happen outside the lock via the single-flight latch.
+                self._files[fid].write_page(page_id, frame.data)  # repro: ignore[RPR012]
+                self._m_writebacks.inc()
+            if frame.speculative:
+                self.prefetch_wasted += 1
+                self._m_prefetch_wasted.inc()
+            del self._frames[key]
+            self._policy.on_evict(key)
+            self.evictions += 1
+            self._m_evictions.inc()
+            return
         raise BufferPoolExhaustedError(
             f"all {len(self._frames)} frames are pinned; cannot evict")
 
@@ -151,11 +197,19 @@ class BufferPool:
         while len(self._frames) >= self.capacity:
             self._evict_one()
         self._frames[key] = frame
+        self._policy.on_insert(key)
         self._m_resident.set(len(self._frames))
 
     def _pin_locked(self, frame: _Frame) -> None:
         frame.pin_count += 1
         self._m_pins.inc()
+
+    def _consume_frame_locked(self, frame: _Frame) -> None:
+        """First demand hit on a prefetched frame: attribute usefulness."""
+        if frame.speculative:
+            frame.speculative = False
+            self.prefetch_useful += 1
+            self._m_prefetch_useful.inc()
 
     # -- public API -------------------------------------------------------------
 
@@ -168,7 +222,9 @@ class BufferPool:
         ``pageio``-routed reader so misses get retry + component
         accounting.  Concurrent misses on the same page coalesce into
         one read: only the owner's ``reader`` runs, and every waiter
-        counts a hit plus ``coalesced``.
+        counts a hit plus ``coalesced``.  A demand hit on a prefetched
+        frame (or a demand fault coalescing onto an in-flight prefetch)
+        additionally consumes the prefetch: ``prefetch_useful``.
         """
         with self._lock:
             # Under the lock: _key registers pfile in the _files map, and
@@ -178,7 +234,8 @@ class BufferPool:
             if frame is not None:
                 self.hits += 1
                 self._m_hits.inc()
-                self._frames.move_to_end(key)
+                self._policy.on_access(key)
+                self._consume_frame_locked(frame)
                 if pin:
                     self._pin_locked(frame)
                 return frame.data
@@ -201,15 +258,60 @@ class BufferPool:
                 self.coalesced += 1
                 self._m_hits.inc()
                 self._m_coalesced.inc()
+                if latch.speculative and not latch.consumed:
+                    latch.consumed = True
+                    self.prefetch_useful += 1
+                    self._m_prefetch_useful.inc()
         assert latch is not None
         if owner:
             return self._read_as_owner(key, pfile, page_id, latch,
                                        pin=pin, reader=reader)
         return self._wait_as_waiter(key, latch, pin=pin)
 
+    def prefetch(self, pfile: PagedFile, page_id: int, *,
+                 reader: Optional[PageReader] = None) -> bool:
+        """Speculatively read a page into the pool; ``True`` if issued.
+
+        No demand counters move: a resident or in-flight page is left
+        alone (``False``), and an issued read counts only
+        ``prefetch_issued``.  The installed frame is marked speculative;
+        the first demand ``get`` consuming it (directly or by latch
+        coalescing) counts ``prefetch_useful``, and eviction of an
+        unconsumed frame counts ``prefetch_wasted`` — never a session's
+        demand hit/miss.  A pool whose every frame is pinned declines
+        the prefetch instead of raising: speculation is best-effort.
+        """
+        with self._lock:
+            key = self._key(pfile, page_id)
+            if key in self._frames or key in self._latches:
+                return False
+            if len(self._frames) >= self.capacity:
+                try:
+                    self._evict_one()
+                except BufferPoolExhaustedError:
+                    return False
+            self.prefetch_issued += 1
+            self._m_prefetch_issued.inc()
+            latch = _Latch(speculative=True)
+            self._latches[key] = latch
+        self._read_as_owner(key, pfile, page_id, latch, pin=False,
+                            reader=reader, speculative=True)
+        return True
+
+    def peek(self, pfile: PagedFile, page_id: int) -> Optional[bytes]:
+        """Resident page bytes without touching counters or recency.
+
+        The prefetch machinery uses this to decode already-prefetched
+        index pages; a demand path must use :meth:`get`.
+        """
+        with self._lock:
+            frame = self._frames.get((pfile.file_id, page_id))
+            return frame.data if frame is not None else None
+
     def _read_as_owner(self, key: Tuple[int, int], pfile: PagedFile,
                        page_id: int, latch: _Latch, *, pin: bool,
-                       reader: Optional[PageReader]) -> bytes:
+                       reader: Optional[PageReader],
+                       speculative: bool = False) -> bytes:
         """Perform the single-flight read.  Caller does NOT hold the lock."""
         try:
             if reader is not None:
@@ -225,7 +327,10 @@ class BufferPool:
                 latch.done.set()
             raise
         with self._lock:
-            frame = _Frame(data)
+            # A demand waiter may have consumed the prefetch while the
+            # read was in flight; the frame then lands non-speculative.
+            frame = _Frame(data, speculative=speculative
+                           and not latch.consumed)
             self._install(key, frame)
             if pin:
                 self._pin_locked(frame)
@@ -244,7 +349,8 @@ class BufferPool:
         with self._lock:
             frame = self._frames.get(key)
             if frame is not None:
-                self._frames.move_to_end(key)
+                self._policy.on_access(key)
+                self._consume_frame_locked(frame)
                 if pin:
                     self._pin_locked(frame)
                 return frame.data
@@ -269,7 +375,11 @@ class BufferPool:
                 self._install(key, frame)
             frame.data = bytes(data)
             frame.dirty = True
-            self._frames.move_to_end(key)
+            # Overwriting speculative bytes ends the speculation without
+            # attributing usefulness: the prefetched contents were never
+            # read.
+            frame.speculative = False
+            self._policy.on_access(key)
 
     def unpin(self, pfile: PagedFile, page_id: int) -> None:
         with self._lock:
@@ -287,12 +397,15 @@ class BufferPool:
     def flush(self) -> None:
         """Write back every dirty frame (keeps frames resident).
 
-        Write-back order is frame LRU order (least recently used first),
-        matching the order evictions would have flushed them.
+        Write-back order is the policy's eviction order (for LRU: least
+        recently used first), matching the order evictions would have
+        flushed them.
         """
         with self._lock:
-            for (fid, page_id), frame in self._frames.items():
-                if frame.dirty:
+            for key in self._policy.keys():
+                frame = self._frames.get(key)
+                if frame is not None and frame.dirty:
+                    fid, page_id = key
                     # Flush write-back mirrors the eviction exception: same
                     # pool->file lock order, and the frame table must not
                     # change mid-flush, so the lock stays held.
@@ -312,6 +425,7 @@ class BufferPool:
                 raise BufferPoolError("cannot clear: pinned pages present")
             self.flush()
             self._frames.clear()
+            self._policy.clear()
             self._files.clear()
             self._m_resident.set(0)
 
@@ -326,7 +440,15 @@ class BufferPool:
             total = self.hits + self.misses
             return self.hits / total if total else 0.0
 
+    def prefetch_stats(self) -> Dict[str, int]:
+        """Speculative-read counters (stable key order, for reports)."""
+        with self._lock:
+            return {"issued": self.prefetch_issued,
+                    "useful": self.prefetch_useful,
+                    "wasted": self.prefetch_wasted}
+
     def __repr__(self) -> str:
         return (f"BufferPool(capacity={self.capacity}, "
+                f"policy={self._policy.name}, "
                 f"resident={self.resident_pages}, hits={self.hits}, "
                 f"misses={self.misses})")

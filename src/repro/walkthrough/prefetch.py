@@ -9,8 +9,11 @@ The storage schemes support this directly
 (:meth:`~repro.core.schemes.base.StorageScheme.prefetch_cell` reads the
 segment into a warm side buffer; the eventual
 :meth:`~repro.core.schemes.base.StorageScheme.flip_to_cell` installs it
-for free).  :class:`CellPrefetcher` adds the motion prediction: a
-one-step velocity estimate extrapolated toward the next cell.
+for free).  :class:`CellPrefetcher` adds the motion prediction, which it
+delegates to :class:`~repro.walkthrough.transition.CellTransitionModel`:
+grid-cell Markov counts learned online from the session's own motion,
+blended with a one-step velocity prior.  With no recorded transitions
+the model reduces exactly to the historical velocity extrapolation.
 """
 
 from __future__ import annotations
@@ -21,7 +24,7 @@ import numpy as np
 
 from repro.core.hdov_tree import HDoVEnvironment
 from repro.core.schemes.base import StorageScheme
-from repro.errors import WalkthroughError
+from repro.walkthrough.transition import CellTransitionModel
 
 
 class CellPrefetcher:
@@ -37,57 +40,48 @@ class CellPrefetcher:
         Lookahead distance as a fraction of the cell size: the predicted
         position one trigger-fraction-cell ahead decides which neighbor
         to warm.
+    model:
+        Transition model to consult and train; a fresh one is built when
+        omitted.  Sharing one model across sessions pools their route
+        knowledge (the serving prefetcher does exactly that).
     """
 
     def __init__(self, env: HDoVEnvironment, scheme: StorageScheme, *,
-                 trigger_fraction: float = 0.5) -> None:
-        if not 0.0 < trigger_fraction <= 2.0:
-            raise WalkthroughError(
-                f"trigger_fraction must be in (0, 2], got {trigger_fraction}")
+                 trigger_fraction: float = 0.5,
+                 model: Optional[CellTransitionModel] = None) -> None:
         self.env = env
         self.scheme = scheme
-        self.trigger_fraction = trigger_fraction
+        self.model = model if model is not None else CellTransitionModel(
+            env.grid, trigger_fraction=trigger_fraction)
+        self.trigger_fraction = self.model.trigger_fraction
         self._last_position: Optional[np.ndarray] = None
+        self._last_cell: Optional[int] = None
         self.prefetches = 0
 
     def predict_next_cell(self, position: np.ndarray) -> Optional[int]:
         """The neighboring cell the viewer is heading into, or ``None``.
 
-        Uses the last observed position as a one-step velocity estimate
-        and extrapolates by ``trigger_fraction`` cell sizes.
+        Blends the model's Markov counts for the current cell with the
+        one-step velocity extrapolation; with an untrained model this is
+        exactly the historical velocity-only prediction.
         """
-        grid = self.env.grid
-        current = grid.cell_of_point(position)
-        if self._last_position is None:
-            return None
-        # Cells partition the horizontal plane, so the prediction uses
-        # the horizontal velocity for both the direction *and* the speed
-        # that normalises it — mixing components (planar speed, 3D
-        # direction) inflates the lookahead whenever the viewer moves
-        # vertically and triggers spurious prefetches.
-        velocity = position - self._last_position
-        planar = velocity.copy()
-        planar[2] = 0.0
-        speed = float(np.linalg.norm(planar))
-        if speed == 0.0:
-            return None
-        lookahead = position + planar / speed * (
-            grid.cell_size * self.trigger_fraction)
-        predicted = grid.cell_of_point(lookahead)
-        if predicted == current:
-            return None
-        return predicted
+        return self.model.predict_from_motion(position, self._last_position)
 
     def observe(self, position) -> Optional[int]:
         """Per-frame hook, called *before* the query: maybe prefetch.
 
         Prefetch I/O is charged normally — it is real work; the benefit
         is that it lands on a quiet frame instead of the crossing frame.
-        Returns the prefetched cell id, or ``None``.
+        Also feeds the observed cell crossing back into the transition
+        model.  Returns the prefetched cell id, or ``None``.
         """
         position = np.asarray(position, dtype=np.float64)
+        current = self.env.grid.cell_of_point(position)
         target = self.predict_next_cell(position)
+        if self._last_cell is not None and self._last_cell != current:
+            self.model.record_transition(self._last_cell, current)
         self._last_position = position.copy()
+        self._last_cell = current
         if target is None:
             return None
         # Count only *effective* prefetches: the scheme no-ops when the
